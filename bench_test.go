@@ -1,0 +1,158 @@
+// Package dcstream's root benchmarks regenerate each of the paper's tables
+// and figures once per benchmark iteration at ScaleDefault sizing. Run the
+// full suite with
+//
+//	go test -bench=. -benchmem
+//
+// or regenerate a single artifact, e.g.
+//
+//	go test -bench=BenchmarkFig13ERTest -benchtime=1x -v
+//
+// The rendered tables are printed once per benchmark (guarded by b.N's first
+// iteration) so `-benchtime=1x -v` doubles as a report generator; cmd/dcsbench
+// offers the same with scale/seed control.
+package dcstream
+
+import (
+	"testing"
+
+	"dcstream/internal/experiments"
+)
+
+// report prints a rendered table once per benchmark run.
+func report(b *testing.B, first bool, t interface{ Table() string }) {
+	b.Helper()
+	if first && testing.Verbose() {
+		b.Log("\n" + t.Table())
+	}
+}
+
+func BenchmarkFig7WeightLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(experiments.Fig7ParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkFig11DetectionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig11(experiments.Fig11ParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkFig12Thresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig12(experiments.Fig12ParamsFor(experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkFig13ERTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13(experiments.Fig13ParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkTable1CoreSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(experiments.Table1ParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkTable2NonNatural(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2(experiments.Table2ParamsFor(experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkTable3Detectable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(experiments.Table3ParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkStressBursty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStress(experiments.StressParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkAblationOffsets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationOffsets(experiments.AblationOffsetsParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkAblationHopefuls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationHopefuls(experiments.AblationHopefulsParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationSampling(experiments.AblationSamplingParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkPersistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPersistence(experiments.PersistenceParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}
+
+func BenchmarkComplexityNaiveVsRefined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunComplexity(experiments.ComplexityParamsFor(uint64(i+1), experiments.ScaleDefault))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, i == 0, res)
+	}
+}

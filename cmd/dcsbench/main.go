@@ -1,0 +1,157 @@
+// Command dcsbench regenerates the paper's tables and figures.
+//
+//	dcsbench -exp all -scale default
+//	dcsbench -exp fig13,table2 -scale paper -seed 7
+//
+// Experiments: fig7, fig11, fig12, fig13, table1, table2, table3, stress,
+// complexity, persistence, ablation-offsets, ablation-hopefuls,
+// ablation-sampling, all.
+// Scales: test (seconds), default (tens of seconds), paper (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcstream/internal/experiments"
+)
+
+type runner struct {
+	name string
+	run  func(seed uint64, s experiments.Scale) (fmt.Stringer, error)
+}
+
+// tabler adapts the experiments' Table() convention to fmt.Stringer.
+type tabler struct{ t interface{ Table() string } }
+
+func (t tabler) String() string { return t.t.Table() }
+
+func wrap[T interface{ Table() string }](f func() (T, error)) (fmt.Stringer, error) {
+	r, err := f()
+	if err != nil {
+		return nil, err
+	}
+	return tabler{r}, nil
+}
+
+var runners = []runner{
+	{"fig7", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Fig7Result, error) {
+			return experiments.RunFig7(experiments.Fig7ParamsFor(seed, s))
+		})
+	}},
+	{"fig11", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Fig11Result, error) {
+			return experiments.RunFig11(experiments.Fig11ParamsFor(seed, s))
+		})
+	}},
+	{"fig12", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Fig12Result, error) {
+			return experiments.RunFig12(experiments.Fig12ParamsFor(s))
+		})
+	}},
+	{"fig13", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Fig13Result, error) {
+			return experiments.RunFig13(experiments.Fig13ParamsFor(seed, s))
+		})
+	}},
+	{"table1", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Table1Result, error) {
+			return experiments.RunTable1(experiments.Table1ParamsFor(seed, s))
+		})
+	}},
+	{"table2", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Table2Result, error) {
+			return experiments.RunTable2(experiments.Table2ParamsFor(s))
+		})
+	}},
+	{"table3", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.Table3Result, error) {
+			return experiments.RunTable3(experiments.Table3ParamsFor(seed, s))
+		})
+	}},
+	{"stress", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.StressResult, error) {
+			return experiments.RunStress(experiments.StressParamsFor(seed, s))
+		})
+	}},
+	{"complexity", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.ComplexityResult, error) {
+			return experiments.RunComplexity(experiments.ComplexityParamsFor(seed, s))
+		})
+	}},
+	{"persistence", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.PersistenceResult, error) {
+			return experiments.RunPersistence(experiments.PersistenceParamsFor(seed, s))
+		})
+	}},
+	{"ablation-offsets", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.AblationOffsetsResult, error) {
+			return experiments.RunAblationOffsets(experiments.AblationOffsetsParamsFor(seed, s))
+		})
+	}},
+	{"ablation-hopefuls", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.AblationHopefulsResult, error) {
+			return experiments.RunAblationHopefuls(experiments.AblationHopefulsParamsFor(seed, s))
+		})
+	}},
+	{"ablation-sampling", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.AblationSamplingResult, error) {
+			return experiments.RunAblationSampling(experiments.AblationSamplingParamsFor(seed, s))
+		})
+	}},
+}
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
+		scaleFlag = flag.String("scale", "default", "test | default | paper")
+		seedFlag  = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, name := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(*seedFlag, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s finished in %v at scale %s)\n\n", r.name, time.Since(start).Round(time.Millisecond), scale)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,107 @@
+// Command dcsd runs the DCS analysis center as a TCP daemon: it accepts
+// digests from dcsnode collectors and, at the end of each window, runs the
+// appropriate analysis (aligned ASID detection, unaligned ER test + core
+// finding, or both) over everything received.
+//
+//	dcsd -listen 127.0.0.1:7460 -window 2s
+//
+// The daemon infers the case from the digest types it receives; mixing both
+// in one window is allowed and each case is analyzed independently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dcstream/internal/center"
+	"dcstream/internal/transport"
+)
+
+func analyze(c *center.Center) {
+	rep, err := c.Analyze()
+	if err != nil {
+		log.Printf("analysis: %v", err)
+		return
+	}
+	if rep.Aligned != nil {
+		a := rep.Aligned
+		if a.Detection.Found {
+			log.Printf("ALIGNED PATTERN: %d routers share %d common packets (core %d): routers %v",
+				len(a.RouterIDs), len(a.Detection.Cols), len(a.Detection.CoreCols), a.RouterIDs)
+		} else {
+			log.Printf("aligned: no pattern across %d routers", a.Routers)
+		}
+	}
+	if rep.Unaligned != nil {
+		u := rep.Unaligned
+		if u.ER.PatternDetected {
+			log.Printf("UNALIGNED PATTERN: largest component %d >= %d over %d vertices; %d vertices at routers %v implicated",
+				u.ER.LargestComponent, u.ER.Threshold, u.Vertices, len(u.PatternVertices), u.Routers)
+		} else {
+			log.Printf("unaligned: no pattern (largest component %d < %d over %d vertices)",
+				u.ER.LargestComponent, u.ER.Threshold, u.Vertices)
+		}
+	}
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7460", "address to listen on")
+		window    = flag.Duration("window", 2*time.Second, "analysis window")
+		subset    = flag.Int("subset", 512, "aligned detector subset size n'")
+		threshold = flag.Int("er-threshold", 12, "unaligned ER component threshold")
+		beta      = flag.Int("beta", 8, "unaligned core size")
+		dExp      = flag.Int("d", 2, "unaligned expansion degree threshold")
+		workers   = flag.Int("workers", runtime.NumCPU(), "correlation-pass goroutines")
+		once      = flag.Bool("once", false, "analyze one window and exit (for scripting)")
+	)
+	flag.Parse()
+
+	c := center.New(center.Config{
+		SubsetSize:         *subset,
+		ComponentThreshold: *threshold,
+		Beta:               *beta,
+		D:                  *dExp,
+		Workers:            *workers,
+	})
+	srv, err := transport.Serve(*listen, func(m transport.Message, from net.Addr) {
+		c.Ingest(m)
+		switch d := m.(type) {
+		case transport.AlignedDigest:
+			log.Printf("aligned digest from router %d (%s), %d bits", d.RouterID, from, d.Bitmap.Len())
+		case transport.UnalignedDigest:
+			log.Printf("unaligned digest from router %d (%s)", d.Digest.RouterID, from)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("dcsd analysis center listening on %s (window %v)", srv.Addr(), *window)
+	fmt.Println(srv.Addr()) // machine-readable line for scripts
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*window)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			analyze(c)
+			if *once {
+				return
+			}
+		case s := <-sig:
+			log.Printf("signal %v: analyzing final window and shutting down", s)
+			analyze(c)
+			return
+		}
+	}
+}

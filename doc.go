@@ -1,0 +1,22 @@
+// Package dcstream is a from-scratch Go implementation of the Distributed
+// Collaborative Streaming (DCS) system of "Scalable and Efficient Data
+// Streaming Algorithms for Detecting Common Content in Internet Traffic"
+// (Sung, Kumar, Li, Wang, Xu — ICDE 2006).
+//
+// The module root carries the benchmark suite that regenerates every table
+// and figure of the paper's evaluation (bench_test.go); the implementation
+// lives under internal/ (see README.md for the package map), runnable
+// scenarios under examples/, and the operational binaries under cmd/.
+//
+// Entry points:
+//
+//   - internal/core: AlignedSystem and UnalignedSystem, the end-to-end
+//     public API (collectors per router + analysis per epoch).
+//   - internal/experiments: one harness per paper table/figure.
+//   - cmd/dcsbench: regenerate any artifact at test/default/paper scale.
+//   - cmd/dcsd + cmd/dcsnode: the distributed deployment over TCP.
+//   - cmd/dcstrace + cmd/dcsreplay: record and replay packet traces.
+//
+// DESIGN.md holds the system inventory and substitution notes;
+// EXPERIMENTS.md records paper-versus-measured results for every artifact.
+package dcstream

@@ -1,0 +1,3 @@
+module dcstream
+
+go 1.22

@@ -1,0 +1,358 @@
+package aligned
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/stats"
+)
+
+// DetectorConfig tunes the greedy ASID detectors of §III-B. The zero value
+// is not valid; use NaiveConfig or RefinedConfig for the paper's two
+// variants, then adjust fields as needed.
+type DetectorConfig struct {
+	// SubsetSize is n′, the number of heaviest columns forming S₁ in which
+	// the core is searched. The naive algorithm uses all n columns; the
+	// refined algorithm uses n′ ≈ O(√n) per Theorem 2 (4,000 for n = 4M).
+	SubsetSize int
+	// Hopefuls is the size of the priority list of heaviest b′-products
+	// kept between iterations (the paper keeps O(n) of them). Zero means
+	// SubsetSize.
+	Hopefuls int
+	// MaxIterations bounds the product order b′ (the paper's
+	// num_iterations, ≈ b + c). Zero means 64.
+	MaxIterations int
+	// Gamma is the core-expansion slack γ: a column joins the pattern if
+	// it shares at least weight(core)−γ ones with the core (§III-B lines
+	// 10–14; "setting γ to 2 or 3 will work very well").
+	Gamma int
+	// Epsilon is the non-naturally-occurring threshold ε (§III-C). Zero
+	// means 1e-3.
+	Epsilon float64
+	// FlatFactor and DiveFactor implement the termination procedure: the
+	// weight-loss curve is "flat" when w_b ≥ FlatFactor·w_{b-1} and the
+	// second exponential dive has begun when w_b ≤ DiveFactor·w_{b-1}.
+	// Zeros mean 0.80 and 0.65.
+	FlatFactor, DiveFactor float64
+	// FullTrace makes Detect keep iterating to MaxIterations even after a
+	// pattern is detected, so the complete weight-loss curve (Figure 7) is
+	// recorded. Detection results are unaffected.
+	FullTrace bool
+}
+
+// NaiveConfig returns the naive O(n² log n) detector configuration for a
+// matrix with n columns: search the whole matrix.
+func NaiveConfig(n int) DetectorConfig {
+	return DetectorConfig{SubsetSize: n, Gamma: 2}
+}
+
+// RefinedConfig returns the refined O(n log n) detector configuration:
+// search only the subsetSize heaviest columns (Theorem 2 sizes this so the
+// pattern's trace inside S₁ stays non-naturally-occurring).
+func RefinedConfig(subsetSize int) DetectorConfig {
+	return DetectorConfig{SubsetSize: subsetSize, Gamma: 2}
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Hopefuls == 0 {
+		c.Hopefuls = c.SubsetSize
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 64
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-3
+	}
+	if c.FlatFactor == 0 {
+		c.FlatFactor = 0.80
+	}
+	if c.DiveFactor == 0 {
+		c.DiveFactor = 0.65
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c DetectorConfig) Validate() error {
+	if c.SubsetSize <= 1 {
+		return fmt.Errorf("aligned: SubsetSize must exceed 1, got %d", c.SubsetSize)
+	}
+	if c.Hopefuls < 0 || c.MaxIterations < 0 || c.Gamma < 0 {
+		return fmt.Errorf("aligned: negative tuning parameter")
+	}
+	if c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("aligned: Epsilon %v outside [0,1]", c.Epsilon)
+	}
+	return nil
+}
+
+// Detection is the outcome of running an ASID detector on a matrix.
+type Detection struct {
+	// Found reports whether a non-naturally-occurring pattern was found.
+	Found bool
+	// Rows are the routers identified as having seen the common content
+	// (the 1-positions of the winning product vector).
+	Rows []int
+	// CoreCols are the original column indices forming the detected core.
+	CoreCols []int
+	// Cols is the full identified pattern: the core plus every other
+	// column sharing ≥ weight(core)−γ ones with it.
+	Cols []int
+	// Iterations is the product order b′ at which detection concluded
+	// (the plateau end — Figure 7's "right number of iterations").
+	Iterations int
+	// WeightTrace[i] is the weight of the heaviest (i+1)-product; index 0
+	// is the heaviest single column. This is Figure 7's curve.
+	WeightTrace []int
+}
+
+// product is one entry of the hopeful list: an AND of |members| columns.
+type product struct {
+	vec     *bitvec.Vector
+	weight  int
+	members []int32 // positions within the sorted S₁ ordering, ascending
+}
+
+func (p *product) maxMember() int32 { return p.members[len(p.members)-1] }
+
+// candidate scores a prospective extension of hopeful hi by column cj.
+type candidate struct {
+	hi, cj int32
+	weight int32
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].weight < h[j].weight }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// logNaturalOccurrence generalizes the paper's equation (1) bound to
+// arbitrary bit density: log( C(rows,a)·C(cols,b)·p^{ab} ), the expected
+// number of naturally occurring a×b all-1 submatrices in a rows×cols random
+// matrix whose entries are 1 with probability p.
+func logNaturalOccurrence(rows, cols, a, b int, p float64) float64 {
+	return stats.LogChoose(float64(rows), float64(a)) +
+		stats.LogChoose(float64(cols), float64(b)) +
+		float64(a)*float64(b)*math.Log(p)
+}
+
+// Significant reports whether an a×b pattern is non-naturally-occurring at
+// level eps in a rows×cols half-full matrix (equation (1) verbatim).
+func Significant(rows, cols, a, b int, eps float64) bool {
+	if a <= 0 || b <= 0 {
+		return false
+	}
+	return logNaturalOccurrence(rows, cols, a, b, 0.5) <= math.Log(eps)
+}
+
+// Detect runs the greedy ASID detector (Figures 5/6) on the matrix.
+func Detect(m *Matrix, cfg DetectorConfig) (Detection, error) {
+	if err := cfg.Validate(); err != nil {
+		return Detection{}, err
+	}
+	cfg = cfg.withDefaults()
+	n := m.Cols()
+	if cfg.SubsetSize > n {
+		cfg.SubsetSize = n
+	}
+	if cfg.Hopefuls > cfg.SubsetSize {
+		cfg.Hopefuls = cfg.SubsetSize
+	}
+
+	// S₁: the SubsetSize heaviest columns ("screening by weight"),
+	// descending by weight with index tie-break for determinism.
+	weights := m.ColumnWeights()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := weights[order[i]], weights[order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	s1 := order[:cfg.SubsetSize]
+
+	// Level 1: every column of S₁ is a 1-product.
+	hopefuls := make([]*product, len(s1))
+	for pos, j := range s1 {
+		hopefuls[pos] = &product{
+			vec:     m.Col(j),
+			weight:  weights[j],
+			members: []int32{int32(pos)},
+		}
+	}
+	trace := []int{hopefuls[0].weight}
+
+	s1Weights := make([]int, len(s1))
+	sumW := 0
+	for pos, j := range s1 {
+		s1Weights[pos] = weights[j]
+		sumW += weights[j]
+	}
+	// The S₁ columns are the *heaviest* of the matrix, so their bit density
+	// exceeds one half; equation (1) must use the conditioned density or the
+	// screening bias masquerades as signal on small instances.
+	density := float64(sumW) / float64(len(s1)*m.Rows())
+	if density <= 0 || density >= 1 {
+		density = 0.5
+	}
+	logEps := math.Log(cfg.Epsilon)
+	score := func(p *product) float64 {
+		if p.weight == 0 {
+			return math.Inf(1)
+		}
+		return logNaturalOccurrence(m.Rows(), cfg.SubsetSize, p.weight, len(p.members), density)
+	}
+
+	// Track the most significant (least naturally occurring) product across
+	// all levels; the weight-loss plateau ends exactly where this score is
+	// minimized, which is the paper's "right number of iterations".
+	best := cloneProduct(hopefuls[0])
+	bestScore := score(best)
+	prevW := hopefuls[0].weight
+	flatSeen := false
+
+	for level := 2; level <= cfg.MaxIterations; level++ {
+		next := extend(m, s1, s1Weights, hopefuls, cfg.Hopefuls)
+		if len(next) == 0 {
+			break
+		}
+		hopefuls = next
+		w := hopefuls[0].weight
+		trace = append(trace, w)
+
+		if s := score(hopefuls[0]); s < bestScore {
+			bestScore = s
+			best = cloneProduct(hopefuls[0])
+		}
+		// Termination procedure (§III-B): once the curve has flattened and
+		// then takes its second exponential dive, the plateau end is behind
+		// us; stop early if it was significant (FullTrace keeps going to
+		// record the complete Figure 7 curve).
+		if flatSeen && float64(w) <= cfg.DiveFactor*float64(prevW) {
+			if bestScore <= logEps && !cfg.FullTrace {
+				break
+			}
+			flatSeen = false
+		}
+		if float64(w) >= cfg.FlatFactor*float64(prevW) {
+			flatSeen = true
+		}
+		prevW = w
+		if w == 0 {
+			break
+		}
+	}
+
+	det := Detection{WeightTrace: trace}
+	if bestScore > logEps {
+		return det, nil
+	}
+	concluded := best
+	det.Found = true
+	det.Iterations = len(concluded.members)
+	det.Rows = concluded.vec.Indices()
+	det.CoreCols = make([]int, 0, len(concluded.members))
+	for _, pos := range concluded.members {
+		det.CoreCols = append(det.CoreCols, s1[pos])
+	}
+	sort.Ints(det.CoreCols)
+
+	// Expansion (lines 10–14 of Figure 6): any column sharing at least
+	// weight(core)−γ ones with the core vector joins the pattern.
+	inCore := make(map[int]bool, len(det.CoreCols))
+	for _, j := range det.CoreCols {
+		inCore[j] = true
+	}
+	thresh := concluded.weight - cfg.Gamma
+	if thresh < 1 {
+		thresh = 1
+	}
+	det.Cols = append(det.Cols, det.CoreCols...)
+	for j := 0; j < n; j++ {
+		if inCore[j] {
+			continue
+		}
+		if bitvec.AndCount(concluded.vec, m.Col(j)) >= thresh {
+			det.Cols = append(det.Cols, j)
+		}
+	}
+	sort.Ints(det.Cols)
+	return det, nil
+}
+
+func cloneProduct(p *product) *product {
+	return &product{
+		vec:     p.vec.Clone(),
+		weight:  p.weight,
+		members: append([]int32(nil), p.members...),
+	}
+}
+
+// extend generates the next level of hopefuls: the k heaviest (b′+1)-products
+// v·w with v a current hopeful and w a column of S₁ beyond v's largest
+// member (each column set is enumerated exactly once, in ascending member
+// order). Hopefuls and S₁ are weight-sorted, so the scan prunes with the
+// bound weight(v·w) ≤ min(weight(v), weight(w)).
+func extend(m *Matrix, s1 []int, s1Weights []int, hopefuls []*product, k int) []*product {
+	h := make(candHeap, 0, k+1)
+	heapMin := func() int32 {
+		if len(h) < k {
+			return -1
+		}
+		return h[0].weight
+	}
+	for hi, p := range hopefuls {
+		if int32(p.weight) <= heapMin() {
+			break // later hopefuls are lighter still
+		}
+		for pos := int(p.maxMember()) + 1; pos < len(s1); pos++ {
+			// Columns are weight-sorted descending; once the bound falls to
+			// the heap floor nothing further in this row can qualify.
+			if len(h) == k {
+				bound := s1Weights[pos]
+				if p.weight < bound {
+					bound = p.weight
+				}
+				if int32(bound) <= heapMin() {
+					break
+				}
+			}
+			w := int32(bitvec.AndCount(p.vec, m.Col(s1[pos])))
+			if w <= heapMin() {
+				continue
+			}
+			heap.Push(&h, candidate{hi: int32(hi), cj: int32(pos), weight: w})
+			if len(h) > k {
+				heap.Pop(&h)
+			}
+		}
+	}
+	next := make([]*product, len(h))
+	for i, c := range h {
+		p := hopefuls[c.hi]
+		vec := bitvec.New(p.vec.Len())
+		weight := bitvec.AndInto(vec, p.vec, m.Col(s1[c.cj]))
+		members := make([]int32, len(p.members)+1)
+		copy(members, p.members)
+		members[len(p.members)] = c.cj
+		next[i] = &product{vec: vec, weight: weight, members: members}
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i].weight > next[j].weight })
+	return next
+}

@@ -1,0 +1,103 @@
+package aligned
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/stats"
+)
+
+// Matrix is the m×n 0-1 matrix the analysis center assembles by stacking m
+// router digests of n bits each (§III-B). It is stored column-major: each
+// column is an m-bit vector over routers, because the detection algorithms
+// work entirely on column AND-products.
+type Matrix struct {
+	rows int
+	cols []*bitvec.Vector
+}
+
+// NewMatrix returns an all-zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols < 0 {
+		panic(fmt.Sprintf("aligned: invalid matrix shape %dx%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: make([]*bitvec.Vector, cols)}
+	for j := range m.cols {
+		m.cols[j] = bitvec.New(rows)
+	}
+	return m
+}
+
+// Rows returns the number of rows (routers).
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (bitmap width).
+func (m *Matrix) Cols() int { return len(m.cols) }
+
+// Col returns column j as an m-bit vector (shared storage; treat read-only).
+func (m *Matrix) Col(j int) *bitvec.Vector { return m.cols[j] }
+
+// Set sets entry (row i, column j) to 1.
+func (m *Matrix) Set(i, j int) { m.cols[j].Set(i) }
+
+// Test reports entry (i, j).
+func (m *Matrix) Test(i, j int) bool { return m.cols[j].Test(i) }
+
+// FromDigests transposes m router digests (each an n-bit row) into the
+// column-major matrix used for detection. All digests must share one width.
+func FromDigests(digests []*bitvec.Vector) *Matrix {
+	if len(digests) == 0 {
+		panic("aligned: FromDigests needs at least one digest")
+	}
+	n := digests[0].Len()
+	for i, d := range digests {
+		if d.Len() != n {
+			panic(fmt.Sprintf("aligned: digest %d width %d, want %d", i, d.Len(), n))
+		}
+	}
+	m := NewMatrix(len(digests), n)
+	for i, d := range digests {
+		for _, j := range d.Indices() {
+			m.Set(i, j)
+		}
+	}
+	return m
+}
+
+// RandomMatrix fills an m×n matrix with independent fair coin flips — the
+// Monte-Carlo null model of §V-A (half 1's, half 0's).
+func RandomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for _, c := range m.cols {
+		c.FillRandomHalf(rng.Uint64)
+	}
+	return m
+}
+
+// PlantPattern sets an a×b all-1 submatrix at a uniformly random choice of
+// a rows and b columns (the paper's pattern injection) and returns the
+// chosen rows and columns, each sorted ascending by construction order of
+// SampleDistinct (no particular order guaranteed).
+func (m *Matrix) PlantPattern(rng *rand.Rand, a, b int) (rows, cols []int) {
+	if a <= 0 || a > m.rows || b <= 0 || b > len(m.cols) {
+		panic(fmt.Sprintf("aligned: pattern %dx%d does not fit %dx%d", a, b, m.rows, len(m.cols)))
+	}
+	rows = stats.SampleDistinct(rng, m.rows, a)
+	cols = stats.SampleDistinct(rng, len(m.cols), b)
+	for _, j := range cols {
+		for _, i := range rows {
+			m.cols[j].Set(i)
+		}
+	}
+	return rows, cols
+}
+
+// ColumnWeights returns the weight (number of 1's) of every column.
+func (m *Matrix) ColumnWeights() []int {
+	w := make([]int, len(m.cols))
+	for j, c := range m.cols {
+		w[j] = c.OnesCount()
+	}
+	return w
+}

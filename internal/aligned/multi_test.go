@@ -1,0 +1,118 @@
+package aligned
+
+import (
+	"testing"
+
+	"dcstream/internal/stats"
+)
+
+func TestDetectAllTwoPatterns(t *testing.T) {
+	rng := stats.NewRand(60)
+	m := RandomMatrix(rng, 120, 1500)
+	rowsA, colsA := m.PlantPattern(rng, 30, 14)
+	rowsB, colsB := m.PlantPattern(rng, 24, 12)
+
+	dets, err := DetectAll(m, RefinedConfig(400), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) < 2 {
+		t.Fatalf("found %d patterns, want 2", len(dets))
+	}
+	// Match each detection to one planted pattern by row overlap.
+	match := func(det Detection, rows, cols []int) bool {
+		return containsAll(det.Rows, rows) >= len(rows)*8/10 &&
+			containsAll(det.Cols, cols) >= len(cols)*7/10
+	}
+	foundA, foundB := false, false
+	for _, det := range dets[:2] {
+		if match(det, rowsA, colsA) {
+			foundA = true
+		}
+		if match(det, rowsB, colsB) {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Fatalf("patterns not separated: A=%v B=%v (%d detections)", foundA, foundB, len(dets))
+	}
+	// Input matrix must be untouched: the planted bits still there.
+	for _, j := range colsA {
+		for _, i := range rowsA {
+			if !m.Test(i, j) {
+				t.Fatal("DetectAll mutated the input matrix")
+			}
+		}
+	}
+}
+
+func TestDetectAllRespectsLimit(t *testing.T) {
+	rng := stats.NewRand(61)
+	m := RandomMatrix(rng, 120, 1500)
+	m.PlantPattern(rng, 30, 14)
+	m.PlantPattern(rng, 24, 12)
+	dets, err := DetectAll(m, RefinedConfig(400), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("limit ignored: %d detections", len(dets))
+	}
+}
+
+func TestDetectAllNoPattern(t *testing.T) {
+	rng := stats.NewRand(62)
+	m := RandomMatrix(rng, 100, 800)
+	dets, err := DetectAll(m, RefinedConfig(256), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Fatalf("false positives: %d detections on noise", len(dets))
+	}
+}
+
+func TestSeparateClusters(t *testing.T) {
+	// Build a tiny matrix where one detection merged two contents seen by
+	// different (here: disjoint) router subsets.
+	m := NewMatrix(12, 20)
+	rowsA := []int{0, 1, 2, 3, 4, 5}
+	colsA := []int{2, 5, 7}
+	rowsB := []int{6, 7, 8, 9, 10, 11}
+	colsB := []int{11, 13}
+	for _, j := range colsA {
+		for _, i := range rowsA {
+			m.Set(i, j)
+		}
+	}
+	for _, j := range colsB {
+		for _, i := range rowsB {
+			m.Set(i, j)
+		}
+	}
+	det := Detection{
+		Found: true,
+		Rows:  append(append([]int(nil), rowsA...), rowsB...),
+		Cols:  append(append([]int(nil), colsA...), colsB...),
+	}
+	clusters := SeparateClusters(m, det)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters want 2: %v", len(clusters), clusters)
+	}
+	if len(clusters[0]) != 3 || clusters[0][0] != 2 {
+		t.Fatalf("largest cluster wrong: %v", clusters)
+	}
+	if len(clusters[1]) != 2 || clusters[1][0] != 11 {
+		t.Fatalf("second cluster wrong: %v", clusters)
+	}
+}
+
+func TestSeparateClustersDegenerate(t *testing.T) {
+	m := NewMatrix(4, 4)
+	if got := SeparateClusters(m, Detection{}); got != nil {
+		t.Fatal("not-found detection should yield nil")
+	}
+	if got := SeparateClusters(m, Detection{Found: true}); got != nil {
+		t.Fatal("empty columns should yield nil")
+	}
+}

@@ -1,0 +1,109 @@
+package aligned
+
+import (
+	"fmt"
+
+	"dcstream/internal/stats"
+)
+
+// Theorem2Inputs parameterizes the S₁-sizing computation of Theorem 2: how
+// many heaviest columns the refined detector must screen so that, with high
+// probability, enough of an a×b pattern's columns survive screening for the
+// core search to find a non-naturally-occurring sub-pattern.
+type Theorem2Inputs struct {
+	// Rows and Cols are the matrix dimensions m×n.
+	Rows, Cols int
+	// PatternA and PatternB are the pattern dimensions a×b.
+	PatternA, PatternB int
+	// Eps1 is the per-column tail for the weight threshold w. Zero = 1e-3.
+	Eps1 float64
+	// Eps2 bounds the probability that more than s noise columns exceed w.
+	// Zero = 1e-3.
+	Eps2 float64
+	// Eps4 bounds the probability that fewer than L pattern columns exceed
+	// w. Zero = 1e-2.
+	Eps4 float64
+}
+
+func (in Theorem2Inputs) withDefaults() Theorem2Inputs {
+	if in.Eps1 == 0 {
+		in.Eps1 = 1e-3
+	}
+	if in.Eps2 == 0 {
+		in.Eps2 = 1e-3
+	}
+	if in.Eps4 == 0 {
+		in.Eps4 = 1e-2
+	}
+	return in
+}
+
+// Validate reports whether the inputs are usable.
+func (in Theorem2Inputs) Validate() error {
+	in = in.withDefaults()
+	if in.Rows <= 0 || in.Cols <= 0 {
+		return fmt.Errorf("aligned: non-positive matrix dimension")
+	}
+	if in.PatternA <= 0 || in.PatternA > in.Rows || in.PatternB <= 0 || in.PatternB > in.Cols {
+		return fmt.Errorf("aligned: pattern %dx%d does not fit %dx%d",
+			in.PatternA, in.PatternB, in.Rows, in.Cols)
+	}
+	for _, e := range []float64{in.Eps1, in.Eps2, in.Eps4} {
+		if e <= 0 || e >= 1 {
+			return fmt.Errorf("aligned: epsilon %v outside (0,1)", e)
+		}
+	}
+	return nil
+}
+
+// Theorem2Result is the computed sizing.
+type Theorem2Result struct {
+	// W is the weight threshold: a noise column exceeds it with
+	// probability ≤ Eps1.
+	W int
+	// S bounds the noise columns above W: more than S occur with
+	// probability ≤ Eps2.
+	S int
+	// SubsetSize is n′ = S + b, Theorem 2's prescription for |S₁|.
+	SubsetSize int
+	// Eps3 is the probability that one pattern column exceeds W (the
+	// pattern column's survival probability).
+	Eps3 float64
+	// L is the guaranteed pattern presence: with probability at least
+	// Confidence, S₁ contains at least L pattern columns. Zero means even
+	// one surviving column cannot be guaranteed at the requested Eps4.
+	L int
+	// Confidence = 1 − Eps2 − Eps4 (Theorem 2's bound).
+	Confidence float64
+}
+
+// Theorem2 computes the refined detector's screening sizes. The paper's
+// statement has the Eps4 tail written on the wrong side (binocdf(l, b, ε3) =
+// 1−ε4 would bound the pattern's survivors from *above*); the meaningful
+// direction, implemented here, is the largest L with
+// P[fewer than L of b pattern columns exceed W] ≤ Eps4.
+func Theorem2(in Theorem2Inputs) (Theorem2Result, error) {
+	if err := in.Validate(); err != nil {
+		return Theorem2Result{}, err
+	}
+	in = in.withDefaults()
+	var r Theorem2Result
+	// w: noise columns are Binomial(m, 1/2).
+	r.W = stats.BinomUpperQuantile(in.Rows, 0.5, in.Eps1)
+	// s: the count of noise columns above w is ~Binomial(n, tail(w)); use
+	// the realized tail rather than Eps1 itself (the discrete quantile
+	// overshoots the nominal tail).
+	tail := stats.BinomSurvival(r.W, in.Rows, 0.5)
+	r.S = stats.BinomUpperQuantile(in.Cols, tail, in.Eps2)
+	r.SubsetSize = r.S + in.PatternB
+	// ε3: a pattern column has a forced ones plus fair coins elsewhere.
+	r.Eps3 = stats.BinomSurvival(r.W-in.PatternA, in.Rows-in.PatternA, 0.5)
+	// L: largest l with P[Binomial(b, ε3) < l] ≤ Eps4.
+	l := 0
+	for l < in.PatternB && stats.BinomCDF(l, in.PatternB, r.Eps3) <= in.Eps4 {
+		l++
+	}
+	r.L = l
+	r.Confidence = 1 - in.Eps2 - in.Eps4
+	return r, nil
+}

@@ -1,0 +1,101 @@
+package aligned
+
+import (
+	"testing"
+
+	"dcstream/internal/stats"
+)
+
+func TestTheorem2Validation(t *testing.T) {
+	for _, in := range []Theorem2Inputs{
+		{Rows: 0, Cols: 10, PatternA: 1, PatternB: 1},
+		{Rows: 10, Cols: 10, PatternA: 11, PatternB: 1},
+		{Rows: 10, Cols: 10, PatternA: 1, PatternB: 11},
+		{Rows: 10, Cols: 10, PatternA: 1, PatternB: 1, Eps1: 2},
+	} {
+		if _, err := Theorem2(in); err == nil {
+			t.Fatalf("inputs %+v should be rejected", in)
+		}
+	}
+}
+
+func TestTheorem2PaperScale(t *testing.T) {
+	// The paper's Figure 7 instance: 1000×4M with a 100×30 pattern and
+	// n' = 4000, of which ≈15 are pattern columns. Theorem 2 should
+	// prescribe an n' in the low thousands ("when n is in the range of
+	// millions, n' only needs to be in the range of thousands") and an L
+	// near the observed 15.
+	r, err := Theorem2(Theorem2Inputs{
+		Rows: 1000, Cols: 4 << 20, PatternA: 100, PatternB: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SubsetSize < 500 || r.SubsetSize > 20000 {
+		t.Fatalf("n'=%d, expected thousands", r.SubsetSize)
+	}
+	if r.W < 540 || r.W > 580 {
+		t.Fatalf("w=%d, expected ≈550-560", r.W)
+	}
+	if r.L < 5 || r.L > 25 {
+		t.Fatalf("L=%d, expected near the paper's 15", r.L)
+	}
+	if r.Eps3 < 0.2 || r.Eps3 > 0.8 {
+		t.Fatalf("eps3=%v, expected ≈0.5 for a=100 at w≈550", r.Eps3)
+	}
+	if r.Confidence < 0.97 {
+		t.Fatalf("confidence %v", r.Confidence)
+	}
+}
+
+// TestTheorem2GuaranteeHolds Monte-Carlos the theorem's statement: among
+// the SubsetSize heaviest columns of a random matrix with a planted
+// pattern, at least L pattern columns appear with frequency at least
+// Confidence.
+func TestTheorem2GuaranteeHolds(t *testing.T) {
+	in := Theorem2Inputs{Rows: 200, Cols: 1 << 16, PatternA: 40, PatternB: 25}
+	r, err := Theorem2(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L == 0 {
+		t.Fatalf("theorem gives vacuous L for %+v", in)
+	}
+	rng := stats.NewRand(80)
+	const trials = 40
+	ok := 0
+	for i := 0; i < trials; i++ {
+		vs, err := SampleHeavyColumns(rng, VirtualConfig{
+			Rows: in.Rows, Cols: in.Cols, SubsetSize: r.SubsetSize,
+			PatternRows: in.PatternA, PatternCols: in.PatternB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs.PatternColsInS1) >= r.L {
+			ok++
+		}
+	}
+	freq := float64(ok) / trials
+	// Allow Monte-Carlo slack below the analytic confidence.
+	if freq < r.Confidence-0.15 {
+		t.Fatalf("guarantee held in %v of trials, theorem promises %v (L=%d, n'=%d)",
+			freq, r.Confidence, r.L, r.SubsetSize)
+	}
+}
+
+func TestTheorem2MonotoneInPattern(t *testing.T) {
+	// A stronger pattern (larger a) must survive screening at least as
+	// well: L non-decreasing in a for fixed b.
+	prev := -1
+	for _, a := range []int{40, 60, 80, 100} {
+		r, err := Theorem2(Theorem2Inputs{Rows: 1000, Cols: 1 << 20, PatternA: a, PatternB: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.L < prev {
+			t.Fatalf("L decreased at a=%d: %d after %d", a, r.L, prev)
+		}
+		prev = r.L
+	}
+}

@@ -1,0 +1,145 @@
+package aligned
+
+import (
+	"fmt"
+
+	"dcstream/internal/stats"
+)
+
+// NonNaturalMinB returns, for a pattern seen by a routers in a rows×cols
+// half-full matrix, the minimum number of packets b for the a×b pattern to
+// be non-naturally-occurring at level eps (equation (1), Figure 12's lower
+// curve). It returns -1 if no b up to cols/2 achieves significance (the
+// signal of a rows is too weak at any length).
+func NonNaturalMinB(rows, cols, a int, eps float64) int {
+	if a <= 0 || a > rows {
+		return -1
+	}
+	for b := 1; b <= cols/2; b++ {
+		if Significant(rows, cols, a, b, eps) {
+			return b
+		}
+	}
+	return -1
+}
+
+// DetectableConfig parameterizes the detectable-threshold estimate of
+// §V-A.2: how large a pattern must be for the *refined* detector — which
+// only searches the SubsetSize heaviest columns — to find it with
+// probability at least 1−Delta.
+type DetectableConfig struct {
+	// Rows and Cols are the full matrix dimensions m×n.
+	Rows, Cols int
+	// SubsetSize is the refined detector's n′.
+	SubsetSize int
+	// NoiseFill is the target fraction of S₁ occupied by noise columns
+	// when choosing the weight cutoff; the paper's example uses 550 as the
+	// cutoff for m=1000, leaving ≈2900 noise columns in a 4000-column S₁
+	// (fraction ≈0.725). Zero means 0.725.
+	NoiseFill float64
+	// Eps is the non-natural threshold applied within the S₁ submatrix.
+	// Zero means 1e-3.
+	Eps float64
+	// Delta is the tolerated miss probability. Zero means 0.05 (Figure
+	// 12's "detected with at least 95% probability" curve).
+	Delta float64
+}
+
+func (c DetectableConfig) withDefaults() DetectableConfig {
+	if c.NoiseFill == 0 {
+		c.NoiseFill = 0.725
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-3
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.05
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c DetectableConfig) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 || c.SubsetSize <= 0 {
+		return fmt.Errorf("aligned: non-positive dimension in %+v", c)
+	}
+	if c.SubsetSize > c.Cols {
+		return fmt.Errorf("aligned: SubsetSize %d exceeds Cols %d", c.SubsetSize, c.Cols)
+	}
+	if c.NoiseFill < 0 || c.NoiseFill > 1 || c.Delta < 0 || c.Delta > 1 {
+		return fmt.Errorf("aligned: NoiseFill/Delta outside [0,1] in %+v", c)
+	}
+	return nil
+}
+
+// WeightCutoff returns the column-weight screening threshold: the smallest
+// W such that the expected number of noise columns heavier than W is at
+// most NoiseFill·SubsetSize. Columns above it compete for S₁ membership.
+func (c DetectableConfig) WeightCutoff() int {
+	c = c.withDefaults()
+	target := c.NoiseFill * float64(c.SubsetSize) / float64(c.Cols)
+	return stats.BinomUpperQuantile(c.Rows, 0.5, target)
+}
+
+// DetectableMinB returns the minimum pattern length b (in packets) such
+// that an a×b pattern survives the refined detector's screening with
+// probability at least 1−Delta (Figure 12's upper curve): at least l of the
+// b pattern columns must exceed the weight cutoff, where l is the smallest
+// non-naturally-occurring length within the S₁ submatrix. Returns -1 when
+// a's signal cannot reach significance at any length.
+func DetectableMinB(c DetectableConfig, a int) int {
+	if err := c.Validate(); err != nil {
+		return -1
+	}
+	c = c.withDefaults()
+	if a <= 0 || a > c.Rows {
+		return -1
+	}
+	l := NonNaturalMinB(c.Rows, c.SubsetSize, a, c.Eps)
+	if l < 0 {
+		return -1
+	}
+	cut := c.WeightCutoff()
+	// A pattern column has a forced 1's in the pattern rows plus fair coins
+	// elsewhere, so it clears the cutoff with this probability:
+	pSurv := stats.BinomSurvival(cut-a, c.Rows-a, 0.5)
+	if pSurv <= 0 {
+		return -1
+	}
+	// Smallest b with P[Binomial(b, pSurv) >= l] >= 1-Delta. The survival
+	// probability is monotone in b, so binary search.
+	lo, hi := l-1, l
+	for stats.BinomSurvival(l-1, hi, pSurv) < 1-c.Delta {
+		lo = hi
+		hi *= 2
+		if hi > 1<<26 {
+			return -1
+		}
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if stats.BinomSurvival(l-1, mid, pSurv) >= 1-c.Delta {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// DetectionProbability returns the probability that an a×b pattern survives
+// screening (at least l pattern columns clear the weight cutoff) — the
+// quantity the paper evaluates as ≈0.988 for the 100×30 target.
+func DetectionProbability(c DetectableConfig, a, b int) float64 {
+	if err := c.Validate(); err != nil {
+		return 0
+	}
+	c = c.withDefaults()
+	l := NonNaturalMinB(c.Rows, c.SubsetSize, a, c.Eps)
+	if l < 0 {
+		return 0
+	}
+	cut := c.WeightCutoff()
+	pSurv := stats.BinomSurvival(cut-a, c.Rows-a, 0.5)
+	return stats.BinomSurvival(l-1, b, pSurv)
+}

@@ -1,0 +1,135 @@
+// Package baseline implements the two comparison points the paper argues
+// against:
+//
+//   - RawAggregator — the centralized "raw aggregation" gold standard: ship
+//     every payload to one place and count exactly. Perfect accuracy, but
+//     the shipped-byte accounting shows why it cannot scale (§II-B: 1000
+//     OC-192 links would need another 10 Tbps of backhaul).
+//   - LocalDetector — an EarlyBird-style single-vantage-point content
+//     prevalence table [Singh et al., OSDI'04]. It flags payloads that
+//     repeat often *locally*, and therefore misses content spread thinly
+//     across many links — the paper's core motivation for DCS.
+package baseline
+
+import (
+	"sort"
+
+	"dcstream/internal/hashing"
+	"dcstream/internal/packet"
+)
+
+// RawAggregator receives the raw traffic of every router and answers
+// common-content queries exactly.
+type RawAggregator struct {
+	hash    hashing.Hash64
+	routers map[uint64]map[int]struct{} // payload fingerprint → routers seen at
+	counts  map[uint64]int              // payload fingerprint → total packets
+	shipped int64
+}
+
+// NewRawAggregator returns an empty aggregator; seed selects the payload
+// fingerprint function.
+func NewRawAggregator(seed uint64) *RawAggregator {
+	return &RawAggregator{
+		hash:    hashing.New(seed),
+		routers: make(map[uint64]map[int]struct{}),
+		counts:  make(map[uint64]int),
+	}
+}
+
+// Observe registers one packet from one router, accounting for the payload
+// bytes that raw aggregation would have shipped to the center.
+func (r *RawAggregator) Observe(routerID int, p packet.Packet) {
+	if len(p.Payload) == 0 {
+		return
+	}
+	r.shipped += int64(len(p.Payload))
+	fp := r.hash.Sum(p.Payload)
+	set, ok := r.routers[fp]
+	if !ok {
+		set = make(map[int]struct{})
+		r.routers[fp] = set
+	}
+	set[routerID] = struct{}{}
+	r.counts[fp]++
+}
+
+// BytesShipped returns the total payload bytes a raw-aggregation deployment
+// would have moved to the analysis center.
+func (r *RawAggregator) BytesShipped() int64 { return r.shipped }
+
+// Common is one exactly-counted common payload.
+type Common struct {
+	Fingerprint uint64
+	Routers     int
+	Packets     int
+}
+
+// CommonPayloads returns every payload seen at minRouters or more distinct
+// routers, heaviest first (by router count, then packet count).
+func (r *RawAggregator) CommonPayloads(minRouters int) []Common {
+	var out []Common
+	for fp, set := range r.routers {
+		if len(set) >= minRouters {
+			out = append(out, Common{Fingerprint: fp, Routers: len(set), Packets: r.counts[fp]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Routers != out[j].Routers {
+			return out[i].Routers > out[j].Routers
+		}
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// LocalDetector is the single-vantage-point prevalence baseline: it sees one
+// router's traffic only.
+type LocalDetector struct {
+	hash      hashing.Hash64
+	counts    map[uint64]int
+	threshold int
+}
+
+// NewLocalDetector returns a detector that alarms on payloads repeating at
+// least threshold times locally.
+func NewLocalDetector(seed uint64, threshold int) *LocalDetector {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &LocalDetector{
+		hash:      hashing.New(seed),
+		counts:    make(map[uint64]int),
+		threshold: threshold,
+	}
+}
+
+// Observe registers one local packet.
+func (d *LocalDetector) Observe(p packet.Packet) {
+	if len(p.Payload) == 0 {
+		return
+	}
+	d.counts[d.hash.Sum(p.Payload)]++
+}
+
+// Alarms returns the fingerprints whose local repetition reached the
+// threshold, in no particular order.
+func (d *LocalDetector) Alarms() []uint64 {
+	var out []uint64
+	for fp, c := range d.counts {
+		if c >= d.threshold {
+			out = append(out, fp)
+		}
+	}
+	return out
+}
+
+// Count returns the local repetition count of a payload fingerprint.
+func (d *LocalDetector) Count(fp uint64) int { return d.counts[fp] }
+
+// Fingerprint exposes the detector's payload fingerprint for tests and
+// cross-referencing with RawAggregator output.
+func (d *LocalDetector) Fingerprint(payload []byte) uint64 { return d.hash.Sum(payload) }

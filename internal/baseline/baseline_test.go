@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"dcstream/internal/packet"
+	"dcstream/internal/stats"
+	"dcstream/internal/trafficgen"
+)
+
+func TestRawAggregatorExactCounts(t *testing.T) {
+	agg := NewRawAggregator(1)
+	shared := []byte("common payload")
+	agg.Observe(0, packet.Packet{Payload: shared})
+	agg.Observe(1, packet.Packet{Payload: shared})
+	agg.Observe(1, packet.Packet{Payload: shared}) // same router twice
+	agg.Observe(2, packet.Packet{Payload: []byte("unique")})
+	agg.Observe(3, packet.Packet{}) // empty payload ignored
+
+	common := agg.CommonPayloads(2)
+	if len(common) != 1 {
+		t.Fatalf("want 1 common payload, got %d", len(common))
+	}
+	if common[0].Routers != 2 || common[0].Packets != 3 {
+		t.Fatalf("common = %+v", common[0])
+	}
+	if got := agg.CommonPayloads(1); len(got) != 2 {
+		t.Fatalf("minRouters=1 should list both payloads, got %d", len(got))
+	}
+	wantBytes := int64(len(shared)*3 + len("unique"))
+	if agg.BytesShipped() != wantBytes {
+		t.Fatalf("shipped %d bytes want %d", agg.BytesShipped(), wantBytes)
+	}
+}
+
+func TestRawAggregatorOrdering(t *testing.T) {
+	agg := NewRawAggregator(2)
+	for r := 0; r < 5; r++ {
+		agg.Observe(r, packet.Packet{Payload: []byte("wide")})
+	}
+	for r := 0; r < 3; r++ {
+		agg.Observe(r, packet.Packet{Payload: []byte("narrow")})
+	}
+	common := agg.CommonPayloads(2)
+	if len(common) != 2 || common[0].Routers != 5 || common[1].Routers != 3 {
+		t.Fatalf("ordering wrong: %+v", common)
+	}
+}
+
+func TestLocalDetectorThreshold(t *testing.T) {
+	d := NewLocalDetector(3, 3)
+	p := []byte("worm segment")
+	d.Observe(packet.Packet{Payload: p})
+	d.Observe(packet.Packet{Payload: p})
+	if len(d.Alarms()) != 0 {
+		t.Fatal("alarm below threshold")
+	}
+	d.Observe(packet.Packet{Payload: p})
+	alarms := d.Alarms()
+	if len(alarms) != 1 || alarms[0] != d.Fingerprint(p) {
+		t.Fatalf("alarms = %v", alarms)
+	}
+	if d.Count(d.Fingerprint(p)) != 3 {
+		t.Fatal("count wrong")
+	}
+}
+
+// TestLocalMissesDistributedContent reproduces the paper's motivating claim:
+// content that crosses many links once-or-twice each is invisible to any
+// single-vantage detector but trivially visible to (exact) aggregation.
+func TestLocalMissesDistributedContent(t *testing.T) {
+	const routers = 40
+	rng := stats.NewRand(4)
+	content := trafficgen.NewContent(rng, 1, 536) // one packet of content
+	inst := content.PlantAligned(9, 536)
+
+	agg := NewRawAggregator(7)
+	locals := make([]*LocalDetector, routers)
+	for r := range locals {
+		locals[r] = NewLocalDetector(7, 3)
+		bg, err := trafficgen.Background(rng, trafficgen.BackgroundConfig{Packets: 200, SegmentSize: 536})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range bg {
+			locals[r].Observe(p)
+			agg.Observe(r, p)
+		}
+		// The common content crosses each router exactly once.
+		locals[r].Observe(inst[0])
+		agg.Observe(r, inst[0])
+	}
+	for r, d := range locals {
+		if len(d.Alarms()) != 0 {
+			t.Fatalf("router %d raised a local alarm on once-seen content", r)
+		}
+	}
+	common := agg.CommonPayloads(routers)
+	if len(common) != 1 || common[0].Routers != routers {
+		t.Fatalf("aggregation should see the content at all %d routers: %+v", routers, common)
+	}
+}
+
+func TestLocalDetectorDegenerateThreshold(t *testing.T) {
+	d := NewLocalDetector(1, 0) // clamped to 1
+	d.Observe(packet.Packet{Payload: []byte("x")})
+	if len(d.Alarms()) != 1 {
+		t.Fatal("threshold clamp failed")
+	}
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"sort"
+
+	"dcstream/internal/packet"
+	"dcstream/internal/rabin"
+)
+
+// SifterConfig parameterizes an EarlyBird-style content sifter [Singh et
+// al., OSDI'04] — the single-vantage-point comparison system of the paper's
+// related work (§VI). It samples Rabin substring fingerprints of payloads
+// into a content-prevalence table and alarms when a fingerprint is both
+// prevalent (repeats locally) and dispersed (crosses many distinct source
+// and destination addresses).
+type SifterConfig struct {
+	// Window is the substring length fingerprinted (EarlyBird uses 40).
+	// Zero means 40.
+	Window int
+	// SampleShift value-samples fingerprints: only those whose low
+	// SampleShift bits are zero are tracked (EarlyBird samples 1/64,
+	// shift 6). Zero means 6; negative disables sampling.
+	SampleShift int
+	// Prevalence is the repetition-count threshold. Zero means 3.
+	Prevalence int
+	// Dispersion is the distinct source AND destination threshold.
+	// Zero means 3.
+	Dispersion int
+}
+
+func (c SifterConfig) withDefaults() SifterConfig {
+	if c.Window == 0 {
+		c.Window = 40
+	}
+	if c.SampleShift == 0 {
+		c.SampleShift = 6
+	}
+	if c.SampleShift < 0 {
+		c.SampleShift = 0
+	}
+	if c.Prevalence == 0 {
+		c.Prevalence = 3
+	}
+	if c.Dispersion == 0 {
+		c.Dispersion = 3
+	}
+	return c
+}
+
+type sifterEntry struct {
+	count int
+	srcs  map[uint16]struct{}
+	dsts  map[uint16]struct{}
+}
+
+// Sifter is one vantage point's content-sifting state.
+type Sifter struct {
+	cfg     SifterConfig
+	table   *rabin.Table
+	entries map[uint64]*sifterEntry
+	mask    uint64
+}
+
+// NewSifter builds a sifter.
+func NewSifter(cfg SifterConfig) (*Sifter, error) {
+	cfg = cfg.withDefaults()
+	tab, err := rabin.NewTable(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	return &Sifter{
+		cfg:     cfg,
+		table:   tab,
+		entries: make(map[uint64]*sifterEntry),
+		mask:    (1 << uint(cfg.SampleShift)) - 1,
+	}, nil
+}
+
+// srcDst unpacks the synthetic addresses from a packet.Tuple flow label.
+func srcDst(f packet.FlowLabel) (src, dst uint16) {
+	return uint16(f >> 48), uint16(f >> 32)
+}
+
+// Observe runs the roller over one payload, updating the prevalence table
+// for every value-sampled substring fingerprint.
+func (s *Sifter) Observe(p packet.Packet) {
+	if len(p.Payload) < s.cfg.Window {
+		return
+	}
+	src, dst := srcDst(p.Flow)
+	r := s.table.NewRoller()
+	seen := make(map[uint64]struct{}) // count each substring once per packet
+	for _, b := range p.Payload {
+		fp, ok := r.Roll(b)
+		if !ok || fp&s.mask != 0 {
+			continue
+		}
+		if _, dup := seen[fp]; dup {
+			continue
+		}
+		seen[fp] = struct{}{}
+		e, ok := s.entries[fp]
+		if !ok {
+			e = &sifterEntry{srcs: map[uint16]struct{}{}, dsts: map[uint16]struct{}{}}
+			s.entries[fp] = e
+		}
+		e.count++
+		e.srcs[src] = struct{}{}
+		e.dsts[dst] = struct{}{}
+	}
+}
+
+// SifterAlarm reports one suspicious content signature.
+type SifterAlarm struct {
+	Fingerprint  uint64
+	Prevalence   int
+	Sources      int
+	Destinations int
+}
+
+// Alarms returns the fingerprints crossing both thresholds, most prevalent
+// first.
+func (s *Sifter) Alarms() []SifterAlarm {
+	var out []SifterAlarm
+	for fp, e := range s.entries {
+		if e.count >= s.cfg.Prevalence &&
+			len(e.srcs) >= s.cfg.Dispersion && len(e.dsts) >= s.cfg.Dispersion {
+			out = append(out, SifterAlarm{
+				Fingerprint:  fp,
+				Prevalence:   e.count,
+				Sources:      len(e.srcs),
+				Destinations: len(e.dsts),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prevalence != out[j].Prevalence {
+			return out[i].Prevalence > out[j].Prevalence
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// TableSize returns the number of tracked fingerprints (memory proxy).
+func (s *Sifter) TableSize() int { return len(s.entries) }

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"testing"
+
+	"dcstream/internal/packet"
+	"dcstream/internal/stats"
+	"dcstream/internal/trafficgen"
+)
+
+func TestSifterValidation(t *testing.T) {
+	if _, err := NewSifter(SifterConfig{Window: -1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	s, err := NewSifter(SifterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Window != 40 || s.cfg.Prevalence != 3 {
+		t.Fatalf("defaults wrong: %+v", s.cfg)
+	}
+}
+
+func TestSifterCatchesLocalWorm(t *testing.T) {
+	// A worm spraying from many sources to many destinations *through one
+	// link* is exactly what EarlyBird catches: high prevalence AND high
+	// dispersion. This is the regime where the single-vantage baseline
+	// works — contrast with TestSifterMissesDistributedContent.
+	s, err := NewSifter(SifterConfig{Window: 16, SampleShift: 2, Prevalence: 5, Dispersion: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(1)
+	worm := trafficgen.NewContent(rng, 2, 536)
+	// Background chatter.
+	bg, _ := trafficgen.Background(rng, trafficgen.BackgroundConfig{Packets: 300, SegmentSize: 536})
+	for _, p := range bg {
+		s.Observe(p)
+	}
+	// Eight infections cross this link, each with a distinct (src, dst).
+	for i := 0; i < 8; i++ {
+		flow := packet.Tuple(uint16(100+i), uint16(200+i), 25, uint16(4000+i))
+		for _, p := range worm.PlantAligned(flow, 536) {
+			s.Observe(p)
+		}
+	}
+	alarms := s.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("local worm spray raised no alarm")
+	}
+	top := alarms[0]
+	if top.Prevalence < 8 || top.Sources < 5 || top.Destinations < 5 {
+		t.Fatalf("top alarm too weak: %+v", top)
+	}
+}
+
+func TestSifterSuppressesLowDispersion(t *testing.T) {
+	// The same bytes repeating between ONE source and ONE destination
+	// (retransmissions, a busy single flow) must not alarm: prevalence is
+	// high but dispersion is 1 — EarlyBird's false-positive suppression.
+	s, _ := NewSifter(SifterConfig{Window: 16, SampleShift: 2, Prevalence: 5, Dispersion: 5})
+	rng := stats.NewRand(2)
+	hot := trafficgen.NewContent(rng, 2, 536)
+	flow := packet.Tuple(1, 2, 80, 5000)
+	for i := 0; i < 20; i++ {
+		for _, p := range hot.PlantAligned(flow, 536) {
+			s.Observe(p)
+		}
+	}
+	if alarms := s.Alarms(); len(alarms) != 0 {
+		t.Fatalf("single-flow repetition alarmed: %+v", alarms)
+	}
+}
+
+func TestSifterMissesDistributedContent(t *testing.T) {
+	// One instance per link: prevalence 1 at every vantage point, below any
+	// useful threshold — the paper's case for distributed detection.
+	rng := stats.NewRand(3)
+	content := trafficgen.NewContent(rng, 2, 536)
+	for link := 0; link < 10; link++ {
+		s, _ := NewSifter(SifterConfig{Window: 16, SampleShift: 2, Prevalence: 3, Dispersion: 2})
+		bg, _ := trafficgen.Background(rng, trafficgen.BackgroundConfig{Packets: 200, SegmentSize: 536})
+		for _, p := range bg {
+			s.Observe(p)
+		}
+		flow := packet.Tuple(uint16(link), uint16(50+link), 25, 4000)
+		for _, p := range content.PlantAligned(flow, 536) {
+			s.Observe(p)
+		}
+		if alarms := s.Alarms(); len(alarms) != 0 {
+			t.Fatalf("link %d alarmed on a once-seen content: %+v", link, alarms)
+		}
+	}
+}
+
+func TestSifterSkipsShortPayloads(t *testing.T) {
+	s, _ := NewSifter(SifterConfig{Window: 40})
+	s.Observe(packet.Packet{Flow: 1, Payload: make([]byte, 39)})
+	if s.TableSize() != 0 {
+		t.Fatal("short payload populated the table")
+	}
+}
+
+func TestSifterValueSampling(t *testing.T) {
+	// With shift s the table tracks ≈ 2^-s of substrings: compare table
+	// sizes at shifts 0 and 4 over identical traffic.
+	rng := stats.NewRand(4)
+	bg, _ := trafficgen.Background(rng, trafficgen.BackgroundConfig{Packets: 100, SegmentSize: 256})
+	dense, _ := NewSifter(SifterConfig{Window: 16, SampleShift: -1})
+	sparse, _ := NewSifter(SifterConfig{Window: 16, SampleShift: 4})
+	for _, p := range bg {
+		dense.Observe(p)
+		sparse.Observe(p)
+	}
+	ratio := float64(sparse.TableSize()) / float64(dense.TableSize())
+	if ratio < 0.02 || ratio > 0.15 {
+		t.Fatalf("sampling ratio %v, want ≈1/16", ratio)
+	}
+}

@@ -1,0 +1,236 @@
+// Package bitvec provides dense fixed-length bit vectors optimized for the
+// bulk bitwise operations at the heart of the DCS detection algorithms:
+// AND-products of matrix columns (aligned case) and overlap counting between
+// digest arrays (unaligned case).
+//
+// A Vector is a sequence of n bits stored in 64-bit words. The zero value is
+// an empty vector; use New to allocate one of a given length. All operations
+// that combine two vectors require equal lengths and panic otherwise —
+// mismatched lengths are always a programming error in this codebase, never
+// an input condition.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. Bits beyond Len() in the final word
+// are always zero; every mutating operation maintains this invariant so that
+// popcounts never see garbage.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a zeroed vector of n bits. n must be non-negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns an n-bit vector with exactly the given bit positions
+// set. Indices out of range panic.
+func FromIndices(n int, idx []int) *Vector {
+	v := New(n)
+	for _, i := range idx {
+		v.Set(i)
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the backing words for read-only scans (e.g. serialization).
+// The final word's high bits beyond Len are zero.
+func (v *Vector) Words() []uint64 { return v.words }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is 1.
+func (v *Vector) Test(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Reset zeroes every bit, keeping the allocation.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	w := make([]uint64, len(v.words))
+	copy(w, v.words)
+	return &Vector{words: w, n: v.n}
+}
+
+// OnesCount returns the number of set bits (the paper's "weight").
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func (v *Vector) sameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// And stores the bitwise AND of a and b into v (v may alias either operand).
+func (v *Vector) And(a, b *Vector) {
+	a.sameLen(b)
+	v.sameLen(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores the bitwise OR of a and b into v (v may alias either operand).
+func (v *Vector) Or(a, b *Vector) {
+	a.sameLen(b)
+	v.sameLen(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// AndCount returns the popcount of a AND b without materializing the result.
+// This is the hot path of the unaligned analysis (pairwise row correlation).
+func AndCount(a, b *Vector) int {
+	a.sameLen(b)
+	c := 0
+	aw, bw := a.words, b.words
+	for i := range aw {
+		c += bits.OnesCount64(aw[i] & bw[i])
+	}
+	return c
+}
+
+// AndInto computes dst = a AND b and returns dst's popcount in one pass,
+// which the aligned product iteration uses to score hopefuls while building
+// them.
+func AndInto(dst, a, b *Vector) int {
+	a.sameLen(b)
+	dst.sameLen(a)
+	c := 0
+	for i := range dst.words {
+		w := a.words[i] & b.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether a and b have identical length and bits.
+func Equal(a, b *Vector) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.OnesCount())
+	for wi, w := range v.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+tz)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// FillRandom sets each bit to 1 independently with probability p, using the
+// caller-supplied uniform source (a func returning uniform float64 in [0,1)).
+// Used by Monte-Carlo matrix generation.
+func (v *Vector) FillRandom(p float64, uniform func() float64) {
+	v.Reset()
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < v.n; i++ {
+			v.Set(i)
+		}
+		return
+	}
+	for i := 0; i < v.n; i++ {
+		if uniform() < p {
+			v.words[i/wordBits] |= 1 << uint(i%wordBits)
+		}
+	}
+}
+
+// FillRandomHalf sets each bit to an independent fair coin flip using a
+// 64-bit word source directly; ~64x faster than FillRandom(0.5, ...) and the
+// common case for the paper's half-full bitmaps.
+func (v *Vector) FillRandomHalf(word func() uint64) {
+	for i := range v.words {
+		v.words[i] = word()
+	}
+	v.maskTail()
+}
+
+func (v *Vector) maskTail() {
+	if rem := v.n % wordBits; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// String renders the vector as a 0/1 string, least index first, capped with
+// an ellipsis for long vectors (debug aid).
+func (v *Vector) String() string {
+	const cap = 128
+	var sb strings.Builder
+	n := v.n
+	trunc := false
+	if n > cap {
+		n, trunc = cap, true
+	}
+	for i := 0; i < n; i++ {
+		if v.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	if trunc {
+		fmt.Fprintf(&sb, "… (%d bits, weight %d)", v.n, v.OnesCount())
+	}
+	return sb.String()
+}

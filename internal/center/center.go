@@ -1,0 +1,235 @@
+// Package center implements the analysis-center role of Figure 2 as a
+// reusable library: accumulate digests for a window, then analyze whatever
+// arrived — the aligned ASID detector over stacked bitmaps, the unaligned
+// ER test plus core finder over merged array banks, or both. cmd/dcsd wraps
+// this in a TCP daemon; tests and embedders drive it directly.
+package center
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dcstream/internal/aligned"
+	"dcstream/internal/bitvec"
+	"dcstream/internal/transport"
+	"dcstream/internal/unaligned"
+)
+
+// Config tunes the per-window analysis.
+type Config struct {
+	// SubsetSize is the aligned detector's n′. Zero means 512.
+	SubsetSize int
+	// TargetP1 is the unaligned ER-test edge probability; zero means 0.5/n
+	// with n the observed vertex count.
+	TargetP1 float64
+	// CoreP1 is the unaligned core-graph edge probability; zero means 8/n.
+	CoreP1 float64
+	// ComponentThreshold is the ER decision boundary; zero means 12.
+	ComponentThreshold int
+	// Beta and D tune the core finder; zeros mean 8 and 2.
+	Beta, D int
+	// Workers parallelizes the unaligned correlation pass; zero means 1.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SubsetSize == 0 {
+		c.SubsetSize = 512
+	}
+	if c.ComponentThreshold == 0 {
+		c.ComponentThreshold = 12
+	}
+	if c.Beta == 0 {
+		c.Beta = 8
+	}
+	if c.D == 0 {
+		c.D = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// AlignedOutcome is the aligned-case analysis of one window.
+type AlignedOutcome struct {
+	// Routers is how many digests entered the analysis.
+	Routers int
+	// Detection is the detector's verdict. Its Rows field indexes matrix
+	// rows; RouterIDs below is the same list translated to router ids.
+	Detection aligned.Detection
+	// RouterIDs are the implicated routers, sorted ascending.
+	RouterIDs []int
+}
+
+// UnalignedOutcome is the unaligned-case analysis of one window.
+type UnalignedOutcome struct {
+	// Vertices is the merged graph size.
+	Vertices int
+	// ER is the statistical test verdict.
+	ER unaligned.ERTestResult
+	// PatternVertices and Routers identify the carriers when ER fired.
+	PatternVertices []unaligned.Vertex
+	Routers         []int
+}
+
+// WindowReport is everything one window produced. Nil members mean that
+// digest kind did not arrive (or arrived from fewer than two routers).
+type WindowReport struct {
+	Aligned   *AlignedOutcome
+	Unaligned *UnalignedOutcome
+}
+
+// Center accumulates digests and analyzes on demand. Ingest is safe for
+// concurrent use (the transport server calls it from per-connection
+// goroutines); Analyze atomically swaps the window.
+type Center struct {
+	cfg Config
+
+	mu        sync.Mutex
+	aligned   map[int]*bitvec.Vector
+	unaligned []*unaligned.Digest
+}
+
+// New builds a center.
+func New(cfg Config) *Center {
+	return &Center{cfg: cfg.withDefaults(), aligned: make(map[int]*bitvec.Vector)}
+}
+
+// Ingest accepts one decoded digest message. Unknown message types are
+// ignored (forward compatibility with future digest kinds).
+func (c *Center) Ingest(m transport.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch d := m.(type) {
+	case transport.AlignedDigest:
+		c.aligned[d.RouterID] = d.Bitmap
+	case transport.UnalignedDigest:
+		c.unaligned = append(c.unaligned, d.Digest)
+	}
+}
+
+// Pending returns how many digests of each kind await analysis.
+func (c *Center) Pending() (alignedCount, unalignedCount int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.aligned), len(c.unaligned)
+}
+
+// Analyze closes the current window, analyzes it, and starts a fresh one.
+func (c *Center) Analyze() (WindowReport, error) {
+	c.mu.Lock()
+	alignedDigests := c.aligned
+	unalignedDigests := c.unaligned
+	c.aligned = make(map[int]*bitvec.Vector)
+	c.unaligned = nil
+	c.mu.Unlock()
+
+	var rep WindowReport
+	if len(alignedDigests) >= 2 {
+		out, err := c.analyzeAligned(alignedDigests)
+		if err != nil {
+			return rep, err
+		}
+		rep.Aligned = out
+	}
+	if len(unalignedDigests) >= 2 {
+		out, err := c.analyzeUnaligned(unalignedDigests)
+		if err != nil {
+			return rep, err
+		}
+		rep.Unaligned = out
+	}
+	return rep, nil
+}
+
+func (c *Center) analyzeAligned(digests map[int]*bitvec.Vector) (*AlignedOutcome, error) {
+	// Fix a deterministic row order so Detection.Rows can be translated
+	// back to router ids (map iteration order is random).
+	ids := make([]int, 0, len(digests))
+	for id := range digests {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	vecs := make([]*bitvec.Vector, len(ids))
+	width := digests[ids[0]].Len()
+	for i, id := range ids {
+		v := digests[id]
+		if v.Len() != width {
+			return nil, fmt.Errorf("center: mixed aligned digest widths %d and %d", width, v.Len())
+		}
+		vecs[i] = v
+	}
+	subset := c.cfg.SubsetSize
+	if subset > width {
+		subset = width
+	}
+	det, err := aligned.Detect(aligned.FromDigests(vecs), aligned.RefinedConfig(subset))
+	if err != nil {
+		return nil, err
+	}
+	out := &AlignedOutcome{Routers: len(digests), Detection: det}
+	for _, row := range det.Rows {
+		out.RouterIDs = append(out.RouterIDs, ids[row])
+	}
+	sort.Ints(out.RouterIDs)
+	return out, nil
+}
+
+func (c *Center) analyzeUnaligned(digests []*unaligned.Digest) (*UnalignedOutcome, error) {
+	gm, err := unaligned.Merge(digests)
+	if err != nil {
+		return nil, err
+	}
+	n := gm.NumVertices()
+	rows := len(digests[0].Rows[0])
+	rowPairs := rows * rows
+
+	p1 := c.cfg.TargetP1
+	if p1 == 0 {
+		p1 = 0.5 / float64(n)
+	}
+	lt, err := unaligned.NewLambdaTable(gm.ArrayBits(), unaligned.PStarForEdgeProbability(p1, rowPairs))
+	if err != nil {
+		return nil, err
+	}
+	g, err := gm.BuildGraphParallel(lt, c.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &UnalignedOutcome{
+		Vertices: n,
+		ER:       unaligned.ERTest(g, c.cfg.ComponentThreshold),
+	}
+	if !out.ER.PatternDetected {
+		return out, nil
+	}
+
+	coreP1 := c.cfg.CoreP1
+	if coreP1 == 0 {
+		coreP1 = 8 / float64(n)
+	}
+	coreTable, err := unaligned.NewLambdaTable(gm.ArrayBits(), unaligned.PStarForEdgeProbability(coreP1, rowPairs))
+	if err != nil {
+		return nil, err
+	}
+	cg, err := gm.BuildGraphParallel(coreTable, c.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	found, err := unaligned.FindPattern(cg, unaligned.PatternConfig{Beta: c.cfg.Beta, D: c.cfg.D})
+	if err != nil {
+		return nil, err
+	}
+	routerSeen := map[int]bool{}
+	for _, v := range found {
+		vert := gm.Vertex(v)
+		out.PatternVertices = append(out.PatternVertices, vert)
+		if !routerSeen[vert.RouterID] {
+			routerSeen[vert.RouterID] = true
+			out.Routers = append(out.Routers, vert.RouterID)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package center
+
+import (
+	"sort"
+	"testing"
+
+	"dcstream/internal/aligned"
+	"dcstream/internal/simulate"
+	"dcstream/internal/stats"
+	"dcstream/internal/trafficgen"
+	"dcstream/internal/transport"
+	"dcstream/internal/unaligned"
+)
+
+func TestCenterIgnoresSparseWindows(t *testing.T) {
+	c := New(Config{})
+	rep, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aligned != nil || rep.Unaligned != nil {
+		t.Fatal("empty window produced outcomes")
+	}
+	// One digest of each kind is not analyzable either.
+	col, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 64, HashSeed: 1})
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Bitmap: col.Digest()})
+	if a, u := c.Pending(); a != 1 || u != 0 {
+		t.Fatalf("pending %d,%d", a, u)
+	}
+	rep, err = c.Analyze()
+	if err != nil || rep.Aligned != nil {
+		t.Fatalf("single-router window analyzed: %+v, %v", rep, err)
+	}
+	// Analyze starts a fresh window.
+	if a, _ := c.Pending(); a != 0 {
+		t.Fatal("window not swapped")
+	}
+}
+
+func TestCenterAlignedWindow(t *testing.T) {
+	res, err := simulate.RunAligned(simulate.AlignedScenario{
+		Seed:    5,
+		Routers: 32,
+		Collector: aligned.CollectorConfig{
+			Bits: 1 << 13, HashSeed: 3,
+		},
+		BackgroundPackets: 2500,
+		SegmentSize:       536,
+		ContentPackets:    12,
+		Carriers:          []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{SubsetSize: 256})
+	for r, d := range res.Digests {
+		c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: d})
+	}
+	rep, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aligned == nil || !rep.Aligned.Detection.Found {
+		t.Fatalf("aligned window not detected: %+v", rep.Aligned)
+	}
+	if rep.Aligned.Routers != 32 {
+		t.Fatalf("router count %d", rep.Aligned.Routers)
+	}
+	hit := 0
+	for _, r := range rep.Aligned.RouterIDs {
+		if r < 12 {
+			hit++
+		}
+	}
+	if hit < 10 {
+		t.Fatalf("only %d/12 carriers identified", hit)
+	}
+}
+
+func TestCenterRejectsMixedWidths(t *testing.T) {
+	c := New(Config{})
+	a, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 64, HashSeed: 1})
+	b, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 128, HashSeed: 1})
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Bitmap: a.Digest()})
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Bitmap: b.Digest()})
+	if _, err := c.Analyze(); err == nil {
+		t.Fatal("mixed widths accepted")
+	}
+}
+
+func TestCenterUnalignedWindow(t *testing.T) {
+	cfg := unaligned.CollectorConfig{
+		Groups: 4, ArraysPerGroup: 10, ArrayBits: 512,
+		SegmentSize: 100, FragmentLen: 8, MinPayload: 40,
+		HashSeed: 77,
+	}
+	res, err := simulate.RunUnaligned(simulate.UnalignedScenario{
+		Seed:              6,
+		Routers:           20,
+		Collector:         cfg,
+		BackgroundPackets: 183 * 4,
+		ContentPackets:    60,
+		Carriers:          []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{
+		TargetP1:           0.25 / float64(20*4),
+		ComponentThreshold: 10,
+		Beta:               7,
+		D:                  2,
+		Workers:            2, // exercise the parallel correlation path
+	})
+	for _, d := range res.Digests {
+		c.Ingest(transport.UnalignedDigest{Epoch: 1, Digest: d})
+	}
+	rep, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unaligned == nil || !rep.Unaligned.ER.PatternDetected {
+		t.Fatalf("unaligned window not detected: %+v", rep.Unaligned)
+	}
+	if rep.Unaligned.Vertices != 80 {
+		t.Fatalf("vertex count %d", rep.Unaligned.Vertices)
+	}
+	truth := map[int]bool{}
+	for _, v := range res.CarrierVertices {
+		truth[v.RouterID] = true
+	}
+	hit := 0
+	for _, r := range rep.Unaligned.Routers {
+		if truth[r] {
+			hit++
+		}
+	}
+	if hit < 7 {
+		sort.Ints(rep.Unaligned.Routers)
+		t.Fatalf("only %d/14 carrier routers identified: %v", hit, rep.Unaligned.Routers)
+	}
+}
+
+func TestCenterMixedWindow(t *testing.T) {
+	// Aligned and unaligned digests in one window are analyzed
+	// independently.
+	c := New(Config{SubsetSize: 64, ComponentThreshold: 50})
+	rng := stats.NewRand(7)
+	for r := 0; r < 4; r++ {
+		ac, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 1 << 10, HashSeed: 2})
+		bg, _ := trafficgen.Background(rng, trafficgen.BackgroundConfig{Packets: 300, SegmentSize: 64})
+		for _, p := range bg {
+			ac.Update(p)
+		}
+		c.Ingest(transport.AlignedDigest{RouterID: r, Bitmap: ac.Digest()})
+
+		uc, _ := unaligned.NewCollector(unaligned.CollectorConfig{
+			Groups: 2, ArraysPerGroup: 4, ArrayBits: 256,
+			SegmentSize: 64, FragmentLen: 8, MinPayload: 30,
+			HashSeed: 2, OffsetSeed: uint64(r),
+		})
+		for _, p := range bg {
+			uc.Update(p)
+		}
+		c.Ingest(transport.UnalignedDigest{Digest: uc.Digest(r)})
+	}
+	rep, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aligned == nil || rep.Unaligned == nil {
+		t.Fatal("mixed window did not produce both outcomes")
+	}
+	if rep.Aligned.Detection.Found || rep.Unaligned.ER.PatternDetected {
+		t.Fatal("pure background produced a detection")
+	}
+}

@@ -1,0 +1,79 @@
+package center
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dcstream/internal/aligned"
+	"dcstream/internal/simulate"
+	"dcstream/internal/transport"
+)
+
+// TestCenterOverTCP wires the center to a real transport server — the full
+// dcsd data path — and pushes an epoch of digests through sockets.
+func TestCenterOverTCP(t *testing.T) {
+	res, err := simulate.RunAligned(simulate.AlignedScenario{
+		Seed:    9,
+		Routers: 24,
+		Collector: aligned.CollectorConfig{
+			Bits: 1 << 13, HashSeed: 3,
+		},
+		BackgroundPackets: 2500,
+		SegmentSize:       536,
+		ContentPackets:    12,
+		Carriers:          []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Config{SubsetSize: 256})
+	srv, err := transport.Serve("127.0.0.1:0", func(m transport.Message, _ net.Addr) {
+		c.Ingest(m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for r, d := range res.Digests {
+		client, err := transport.Dial(srv.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Send(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: d}); err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if a, _ := c.Pending(); a == 24 {
+			break
+		}
+		if time.Now().After(deadline) {
+			a, _ := c.Pending()
+			t.Fatalf("only %d/24 digests ingested", a)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rep, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aligned == nil || !rep.Aligned.Detection.Found {
+		t.Fatal("pattern lost across the socket path")
+	}
+	hit := 0
+	for _, r := range rep.Aligned.RouterIDs {
+		if r < 10 {
+			hit++
+		}
+	}
+	if hit < 9 {
+		t.Fatalf("only %d/10 carriers identified after TCP transit: %v", hit, rep.Aligned.RouterIDs)
+	}
+}

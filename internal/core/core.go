@@ -1,0 +1,297 @@
+// Package core is the public face of the DCS (Distributed Collaborative
+// Streaming) library: it assembles the per-link collection modules and the
+// central analysis module into ready-to-run systems for both of the paper's
+// cases. A typical use:
+//
+//	sys, _ := core.NewAligned(core.AlignedConfig{Routers: 64, BitmapBits: 1 << 16})
+//	for r, pkts := range trafficPerRouter {
+//	    for _, p := range pkts {
+//	        sys.Router(r).Update(p)
+//	    }
+//	}
+//	report, _ := sys.EndEpoch()
+//	if report.Detection.Found { ... }
+//
+// The examples/ directory shows complete scenarios for both cases and for
+// shipping digests over TCP.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcstream/internal/aligned"
+	"dcstream/internal/bitvec"
+	"dcstream/internal/stats"
+	"dcstream/internal/unaligned"
+)
+
+// AlignedConfig assembles an aligned-case DCS system.
+type AlignedConfig struct {
+	// Routers is the number of monitored links.
+	Routers int
+	// BitmapBits is each router's bitmap width n. The paper sizes this to
+	// hold one epoch at half fill (4M bits for OC-48); smaller deployments
+	// scale it down with their epoch packet count.
+	BitmapBits int
+	// HashSeed must be shared across the deployment.
+	HashSeed uint64
+	// PrefixLen optionally hashes only each payload's first bytes.
+	PrefixLen int
+	// Detector overrides the analysis configuration. The zero value picks
+	// the refined detector with SubsetSize ≈ max(64, 4·√n) capped at 4000,
+	// mirroring the paper's 4000-of-4M choice.
+	Detector aligned.DetectorConfig
+}
+
+// AlignedReport is the analysis outcome of one epoch.
+type AlignedReport struct {
+	// Detection is the raw detector output (found flag, routers, columns,
+	// weight-loss trace).
+	Detection aligned.Detection
+	// DigestBytes is the total digest volume shipped this epoch, for
+	// comparing against raw aggregation.
+	DigestBytes int64
+}
+
+// AlignedSystem owns one collector per router plus the analysis module.
+type AlignedSystem struct {
+	cfg        AlignedConfig
+	collectors []*aligned.Collector
+}
+
+// NewAligned builds an aligned-case system.
+func NewAligned(cfg AlignedConfig) (*AlignedSystem, error) {
+	if cfg.Routers <= 1 {
+		return nil, fmt.Errorf("core: need at least 2 routers, got %d", cfg.Routers)
+	}
+	if cfg.Detector.SubsetSize == 0 {
+		ss := int(4 * math.Sqrt(float64(cfg.BitmapBits)))
+		if ss < 64 {
+			ss = 64
+		}
+		if ss > 4000 {
+			ss = 4000
+		}
+		cfg.Detector = aligned.RefinedConfig(ss)
+	}
+	sys := &AlignedSystem{cfg: cfg}
+	for r := 0; r < cfg.Routers; r++ {
+		c, err := aligned.NewCollector(aligned.CollectorConfig{
+			Bits: cfg.BitmapBits, HashSeed: cfg.HashSeed, PrefixLen: cfg.PrefixLen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.collectors = append(sys.collectors, c)
+	}
+	return sys, nil
+}
+
+// Router returns router r's collection module.
+func (s *AlignedSystem) Router(r int) *aligned.Collector { return s.collectors[r] }
+
+// Routers returns the fleet size.
+func (s *AlignedSystem) Routers() int { return len(s.collectors) }
+
+// EndEpoch gathers every router's digest, runs the ASID detector, resets the
+// collectors for the next epoch, and reports.
+func (s *AlignedSystem) EndEpoch() (AlignedReport, error) {
+	digests := make([]*bitvec.Vector, len(s.collectors))
+	var shipped int64
+	for r, c := range s.collectors {
+		digests[r] = c.Digest()
+		shipped += int64(len(digests[r].Words()) * 8)
+		c.Reset()
+	}
+	det, err := aligned.Detect(aligned.FromDigests(digests), s.cfg.Detector)
+	if err != nil {
+		return AlignedReport{}, err
+	}
+	return AlignedReport{Detection: det, DigestBytes: shipped}, nil
+}
+
+// UnalignedConfig assembles an unaligned-case DCS system.
+type UnalignedConfig struct {
+	// Routers is the number of monitored links.
+	Routers int
+	// Collector configures every router's streaming module; OffsetSeed is
+	// overridden per router (each router draws its own offsets, §IV-A).
+	Collector unaligned.CollectorConfig
+	// TargetP1 is the background edge probability for the Erdős–Rényi
+	// test graph; zero means 0.5/n (safely below the 1/n transition).
+	TargetP1 float64
+	// ComponentThreshold is the ER-test decision boundary on the largest
+	// connected component. Zero calibrates it from null-model Monte-Carlo
+	// at construction time.
+	ComponentThreshold int
+	// Pattern configures the core finder; zero values pick
+	// Beta = max(8, n/64) and D = 3.
+	Pattern unaligned.PatternConfig
+	// CoreP1 is the (higher) edge probability used for the core-finding
+	// graph G′ (the paper uses 0.8e-4 at n=102,400, well above 1/n);
+	// zero means 8/n.
+	CoreP1 float64
+	// Seed drives threshold calibration and per-router offset seeds.
+	Seed uint64
+	// Workers parallelizes the pairwise-correlation pass (§IV-D's third
+	// complexity remedy). Zero means serial.
+	Workers int
+}
+
+// UnalignedReport is the analysis outcome of one epoch.
+type UnalignedReport struct {
+	// ER is the statistical test outcome ("is there common content?").
+	ER unaligned.ERTestResult
+	// Vertices identifies the (router, group) slots that the core finder
+	// believes carry the content; empty when the ER test is negative.
+	Vertices []unaligned.Vertex
+	// RouterIDs is the deduplicated router list derived from Vertices.
+	RouterIDs []int
+	// DigestBytes is the digest volume shipped this epoch.
+	DigestBytes int64
+}
+
+// UnalignedSystem owns one collector per router plus the analysis module.
+type UnalignedSystem struct {
+	cfg        UnalignedConfig
+	collectors []*unaligned.Collector
+	testTable  *unaligned.LambdaTable
+	coreTable  *unaligned.LambdaTable
+	threshold  int
+}
+
+// NewUnaligned builds an unaligned-case system and calibrates the ER-test
+// component threshold against the null model if none was given.
+func NewUnaligned(cfg UnalignedConfig) (*UnalignedSystem, error) {
+	if cfg.Routers <= 1 {
+		return nil, fmt.Errorf("core: need at least 2 routers, got %d", cfg.Routers)
+	}
+	if err := cfg.Collector.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Routers * cfg.Collector.Groups
+	if cfg.TargetP1 == 0 {
+		cfg.TargetP1 = 0.5 / float64(n)
+	}
+	if cfg.CoreP1 == 0 {
+		cfg.CoreP1 = 8 / float64(n)
+	}
+	if cfg.Pattern.Beta == 0 {
+		cfg.Pattern.Beta = n / 64
+		if cfg.Pattern.Beta < 8 {
+			cfg.Pattern.Beta = 8
+		}
+	}
+	if cfg.Pattern.D == 0 {
+		cfg.Pattern.D = 3
+	}
+
+	rowPairs := cfg.Collector.ArraysPerGroup * cfg.Collector.ArraysPerGroup
+	testTable, err := unaligned.NewLambdaTable(cfg.Collector.ArrayBits,
+		unaligned.PStarForEdgeProbability(cfg.TargetP1, rowPairs))
+	if err != nil {
+		return nil, err
+	}
+	coreTable, err := unaligned.NewLambdaTable(cfg.Collector.ArrayBits,
+		unaligned.PStarForEdgeProbability(cfg.CoreP1, rowPairs))
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &UnalignedSystem{cfg: cfg, testTable: testTable, coreTable: coreTable}
+	for r := 0; r < cfg.Routers; r++ {
+		c := cfg.Collector
+		c.OffsetSeed = cfg.Seed ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
+		col, err := unaligned.NewCollector(c)
+		if err != nil {
+			return nil, err
+		}
+		sys.collectors = append(sys.collectors, col)
+	}
+
+	sys.threshold = cfg.ComponentThreshold
+	if sys.threshold == 0 {
+		sys.threshold = CalibrateComponentThreshold(cfg.Seed, n, cfg.TargetP1, 20)
+	}
+	return sys, nil
+}
+
+// CalibrateComponentThreshold Monte-Carlos the null model G(n, p1) and
+// returns a decision boundary with headroom above the largest component ever
+// observed (trials runs). Exposed so operators can pre-compute thresholds.
+func CalibrateComponentThreshold(seed uint64, n int, p1 float64, trials int) int {
+	rng := stats.NewRand(seed ^ 0xc0ffee)
+	model := unaligned.Model{N: n, ArrayBits: 1024}
+	max := 0
+	for t := 0; t < trials; t++ {
+		if lc := model.SampleNull(rng, p1).LargestComponent(); lc > max {
+			max = lc
+		}
+	}
+	// Headroom: half again the worst null observation plus slack. At paper
+	// scale (n=102,400, p1=0.65e-5) this lands near the paper's threshold
+	// of 100; at the reduced scales of tests and examples it stays tight
+	// enough for patterns of a dozen vertices.
+	return max + max/2 + 2
+}
+
+// Router returns router r's collection module.
+func (s *UnalignedSystem) Router(r int) *unaligned.Collector { return s.collectors[r] }
+
+// Routers returns the fleet size.
+func (s *UnalignedSystem) Routers() int { return len(s.collectors) }
+
+// ComponentThreshold returns the ER-test decision boundary in use.
+func (s *UnalignedSystem) ComponentThreshold() int { return s.threshold }
+
+// EndEpoch gathers digests, runs the ER statistical test and — when it
+// fires — the greedy core finder, resets the collectors, and reports.
+func (s *UnalignedSystem) EndEpoch() (UnalignedReport, error) {
+	digests := make([]*unaligned.Digest, len(s.collectors))
+	var shipped int64
+	for r, c := range s.collectors {
+		digests[r] = c.Digest(r)
+		for _, g := range digests[r].Rows {
+			for _, row := range g {
+				shipped += int64(len(row.Words()) * 8)
+			}
+		}
+		c.Reset()
+	}
+	gm, err := unaligned.Merge(digests)
+	if err != nil {
+		return UnalignedReport{}, err
+	}
+	testGraph, err := gm.BuildGraphParallel(s.testTable, s.cfg.Workers)
+	if err != nil {
+		return UnalignedReport{}, err
+	}
+	rep := UnalignedReport{
+		ER:          unaligned.ERTest(testGraph, s.threshold),
+		DigestBytes: shipped,
+	}
+	if !rep.ER.PatternDetected {
+		return rep, nil
+	}
+	coreGraph, err := gm.BuildGraphParallel(s.coreTable, s.cfg.Workers)
+	if err != nil {
+		return UnalignedReport{}, err
+	}
+	found, err := unaligned.FindPattern(coreGraph, s.cfg.Pattern)
+	if err != nil {
+		return UnalignedReport{}, err
+	}
+	routerSeen := map[int]bool{}
+	for _, v := range found {
+		vert := gm.Vertex(v)
+		rep.Vertices = append(rep.Vertices, vert)
+		if !routerSeen[vert.RouterID] {
+			routerSeen[vert.RouterID] = true
+			rep.RouterIDs = append(rep.RouterIDs, vert.RouterID)
+		}
+	}
+	sort.Ints(rep.RouterIDs)
+	return rep, nil
+}

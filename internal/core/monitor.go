@@ -1,0 +1,126 @@
+package core
+
+import "fmt"
+
+// MonitorConfig configures cross-epoch alarm persistence. The paper notes
+// that per-epoch false negatives are tolerable because "such detection is
+// performed every second — even if the pattern is missed in one second, it
+// may be caught in the following seconds" (§V-B.1), and that sampling a
+// fraction of the measurement epochs is a legitimate way to shed analysis
+// load (§IV-D, fifth possibility). Monitor implements both.
+type MonitorConfig struct {
+	// Window is the sliding window length in analyzed epochs.
+	Window int
+	// MinHits raises the alarm when at least this many of the last Window
+	// analyzed epochs detected a pattern. 1 alarms on any detection;
+	// higher values suppress isolated per-epoch false positives.
+	MinHits int
+	// SampleEvery analyzes only every k-th epoch (1 = every epoch) —
+	// §IV-D's epoch sampling. Skipped epochs cost nothing and do not enter
+	// the window.
+	SampleEvery int
+}
+
+// Validate reports whether the configuration is usable.
+func (c MonitorConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("core: monitor window must be positive, got %d", c.Window)
+	}
+	if c.MinHits <= 0 || c.MinHits > c.Window {
+		return fmt.Errorf("core: MinHits %d outside [1,%d]", c.MinHits, c.Window)
+	}
+	if c.SampleEvery <= 0 {
+		return fmt.Errorf("core: SampleEvery must be positive, got %d", c.SampleEvery)
+	}
+	return nil
+}
+
+// Monitor tracks per-epoch detection outcomes and raises a persistent alarm.
+// It is driven by the caller's epoch loop:
+//
+//	for each epoch {
+//	    if mon.ShouldAnalyze() {
+//	        rep, _ := sys.EndEpoch()
+//	        mon.Record(rep.ER.PatternDetected)
+//	    } else {
+//	        mon.RecordSkipped() // collectors just reset, no analysis
+//	    }
+//	    if mon.Alarm() { ... }
+//	}
+type Monitor struct {
+	cfg      MonitorConfig
+	window   []bool
+	epochs   int
+	analyzed int
+	hits     int
+	total    int
+}
+
+// NewMonitor builds a monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg}, nil
+}
+
+// ShouldAnalyze reports whether the upcoming epoch falls on the sampling
+// grid. The first epoch is always analyzed.
+func (m *Monitor) ShouldAnalyze() bool {
+	return m.epochs%m.cfg.SampleEvery == 0
+}
+
+// RecordSkipped advances the epoch counter for an unanalyzed epoch.
+func (m *Monitor) RecordSkipped() { m.epochs++ }
+
+// Record adds one analyzed epoch's detection outcome and returns the alarm
+// state after it.
+func (m *Monitor) Record(detected bool) bool {
+	m.epochs++
+	m.analyzed++
+	if detected {
+		m.total++
+	}
+	m.window = append(m.window, detected)
+	if detected {
+		m.hits++
+	}
+	if len(m.window) > m.cfg.Window {
+		if m.window[0] {
+			m.hits--
+		}
+		m.window = m.window[1:]
+	}
+	return m.Alarm()
+}
+
+// Alarm reports whether the sliding window currently meets MinHits.
+func (m *Monitor) Alarm() bool { return m.hits >= m.cfg.MinHits }
+
+// Stats summarizes the monitor's history.
+type MonitorStats struct {
+	// Epochs counts every epoch seen (analyzed or skipped).
+	Epochs int
+	// Analyzed counts epochs that went through the analysis module.
+	Analyzed int
+	// Detections counts analyzed epochs that reported a pattern.
+	Detections int
+	// WindowHits is the current number of positive epochs in the window.
+	WindowHits int
+}
+
+// Stats returns the current counters.
+func (m *Monitor) Stats() MonitorStats {
+	return MonitorStats{
+		Epochs:     m.epochs,
+		Analyzed:   m.analyzed,
+		Detections: m.total,
+		WindowHits: m.hits,
+	}
+}
+
+// Reset clears the window and counters.
+func (m *Monitor) Reset() {
+	m.window = m.window[:0]
+	m.epochs, m.analyzed, m.hits, m.total = 0, 0, 0, 0
+}

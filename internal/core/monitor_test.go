@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestMonitorValidation(t *testing.T) {
+	for _, cfg := range []MonitorConfig{
+		{Window: 0, MinHits: 1, SampleEvery: 1},
+		{Window: 3, MinHits: 0, SampleEvery: 1},
+		{Window: 3, MinHits: 4, SampleEvery: 1},
+		{Window: 3, MinHits: 1, SampleEvery: 0},
+	} {
+		if _, err := NewMonitor(cfg); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestMonitorAlarmWindow(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{Window: 3, MinHits: 2, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Record(true) {
+		t.Fatal("alarm after 1 hit with MinHits=2")
+	}
+	if !m.Record(true) {
+		t.Fatal("no alarm after 2 hits in window")
+	}
+	// Misses push the hits out of the window.
+	m.Record(false)
+	if !m.Alarm() {
+		t.Fatal("alarm should persist while 2 hits remain in window")
+	}
+	m.Record(false)
+	if m.Alarm() {
+		t.Fatal("alarm should clear once hits leave the window")
+	}
+	st := m.Stats()
+	if st.Epochs != 4 || st.Analyzed != 4 || st.Detections != 2 || st.WindowHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMonitorCatchesIntermittentPattern(t *testing.T) {
+	// A pattern detected in 1 of every 3 epochs (per-epoch FN = 2/3) is
+	// still caught within a 6-epoch window at MinHits=2 — the paper's
+	// "caught in the following seconds" argument.
+	m, _ := NewMonitor(MonitorConfig{Window: 6, MinHits: 2, SampleEvery: 1})
+	alarmed := false
+	for e := 0; e < 12; e++ {
+		if m.Record(e%3 == 0) {
+			alarmed = true
+		}
+	}
+	if !alarmed {
+		t.Fatal("intermittent pattern never raised the alarm")
+	}
+}
+
+func TestMonitorSampling(t *testing.T) {
+	m, _ := NewMonitor(MonitorConfig{Window: 4, MinHits: 1, SampleEvery: 3})
+	analyzed := 0
+	for e := 0; e < 9; e++ {
+		if m.ShouldAnalyze() {
+			analyzed++
+			m.Record(false)
+		} else {
+			m.RecordSkipped()
+		}
+	}
+	if analyzed != 3 {
+		t.Fatalf("analyzed %d of 9 epochs with SampleEvery=3", analyzed)
+	}
+	st := m.Stats()
+	if st.Epochs != 9 || st.Analyzed != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m, _ := NewMonitor(MonitorConfig{Window: 2, MinHits: 1, SampleEvery: 1})
+	m.Record(true)
+	m.Reset()
+	if m.Alarm() || m.Stats().Epochs != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

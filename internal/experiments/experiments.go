@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each experiment has a parameter struct with three
+// constructors — TestParams (seconds, used by the test suite), DefaultParams
+// (tens of seconds, used by `go test -bench` and dcsbench), and PaperParams
+// (the paper's full dimensions, minutes) — and returns a result value whose
+// Table method renders rows directly comparable to the paper's.
+//
+// EXPERIMENTS.md records paper-versus-measured values and discusses the two
+// places where the paper's published constants are not recoverable from its
+// stated formulas (Table II/III magnitudes; Figure 13's implied edge
+// probability), along with the array-fill analysis that reconciles them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// The three standard experiment scales.
+const (
+	// ScaleTest shrinks everything so the whole suite runs in seconds.
+	ScaleTest Scale = iota
+	// ScaleDefault balances fidelity and single-core runtime.
+	ScaleDefault
+	// ScalePaper uses the paper's full dimensions.
+	ScalePaper
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleDefault:
+		return "default"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a -scale flag value.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "test":
+		return ScaleTest, nil
+	case "default", "":
+		return ScaleDefault, nil
+	case "paper", "full":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (want test|default|paper)", s)
+}
+
+// table renders an ASCII table with a header row.
+func table(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"test": ScaleTest, "default": ScaleDefault, "": ScaleDefault,
+		"paper": ScalePaper, "full": ScalePaper, "PAPER": ScalePaper,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+	if ScaleTest.String() != "test" || ScalePaper.String() != "paper" {
+		t.Fatal("Scale.String wrong")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	res, err := RunFig7(Fig7TestParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("Fig7 instance not detected")
+	}
+	if res.PatternColsInS1 < 5 {
+		t.Fatalf("only %d pattern columns survived screening", res.PatternColsInS1)
+	}
+	// The detector should stop within a couple of iterations of l.
+	if diff := res.DetectedIterations - res.PatternColsInS1; diff < -3 || diff > 3 {
+		t.Fatalf("detected at iteration %d, l=%d", res.DetectedIterations, res.PatternColsInS1)
+	}
+	// The curve must dive after the plateau: trace[l+1] (if recorded) is
+	// well below trace[l-1].
+	tr := res.Trace
+	l := res.DetectedIterations
+	if l+1 <= len(tr) && l >= 2 {
+		if float64(tr[l]) > 0.8*float64(tr[l-2]) {
+			t.Fatalf("no dive after plateau end: %v (l=%d)", tr, l)
+		}
+	}
+	if !strings.Contains(res.Table(), "Figure 7") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	res, err := RunFig11(Fig11ParamsFor(2, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Predicted < 0 || c.Predicted > 1 || c.Detected < 0 || c.Detected > 1 {
+			t.Fatalf("cell out of range: %+v", c)
+		}
+	}
+	// At a=100, b=30 detection should be near certain (paper: 0.988).
+	last := res.Cells[len(res.Cells)-1]
+	if last.A != 100 || last.Detected < 0.5 {
+		t.Fatalf("a=100,b=30 detected %v", last.Detected)
+	}
+	if !strings.Contains(res.Table(), "Figure 11") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	res, err := RunFig12(Fig12ParamsFor(ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byA := map[int]Fig12Point{}
+	for _, pt := range res.Points {
+		byA[pt.A] = pt
+		if pt.DetectableB > 0 && pt.NonNaturalB > 0 && pt.DetectableB < pt.NonNaturalB {
+			t.Fatalf("a=%d: detectable %d below non-natural %d", pt.A, pt.DetectableB, pt.NonNaturalB)
+		}
+	}
+	// Paper anchor points (shape, generous bands).
+	if p := byA[70]; p.NonNaturalB < 8 || p.NonNaturalB > 12 {
+		t.Fatalf("a=70 non-natural b=%d want ≈10", p.NonNaturalB)
+	}
+	if p := byA[25]; p.DetectableB < 800 || p.DetectableB > 5000 {
+		t.Fatalf("a=25 detectable b=%d want O(3000)", p.DetectableB)
+	}
+	if !strings.Contains(res.Table(), "Figure 12") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	res, err := RunFig13(Fig13ParamsFor(3, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalsePositive != 0 {
+		t.Fatalf("null false positive rate %v", res.FalsePositive)
+	}
+	if fn := res.FalseNegative[130]; fn > 0.5 {
+		t.Fatalf("n1=130 false negative %v", fn)
+	}
+	// The planted distribution must stochastically dominate the null.
+	null, planted := res.Series[0], res.Series[1]
+	if planted.Components[len(planted.Components)/2] <= null.Components[len(null.Components)/2] {
+		t.Fatal("planted median not above null median")
+	}
+	if cdf := null.CDF(null.Components[len(null.Components)-1]); cdf != 1 {
+		t.Fatalf("CDF at max should be 1, got %v", cdf)
+	}
+	if !strings.Contains(res.Table(), "Figure 13") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := RunTable1(Table1ParamsFor(4, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.AvgTrueInCore < float64(row.N1)/4 {
+		t.Fatalf("core finder recovered only %.1f of %d", row.AvgTrueInCore, row.N1)
+	}
+	if row.FalsePositive > 0.3 {
+		t.Fatalf("false positive rate %v", row.FalsePositive)
+	}
+	if row.FalseNegative < 0 || row.FalseNegative > 1 {
+		t.Fatalf("false negative rate %v", row.FalseNegative)
+	}
+	if !strings.Contains(res.Table(), "Table I") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res, err := RunTable2(Table2ParamsFor(ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Monotone decreasing in g.
+	if res.Rows[0].Bounds[0].M <= res.Rows[1].Bounds[0].M {
+		t.Fatalf("bounds not decreasing: g=%d→%d, g=%d→%d",
+			res.Rows[0].G, res.Rows[0].Bounds[0].M,
+			res.Rows[1].G, res.Rows[1].Bounds[0].M)
+	}
+	if !strings.Contains(res.Table(), "Table II") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	res, err := RunTable3(Table3ParamsFor(5, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.DetectableN1 <= 0 {
+		t.Fatal("no detectable threshold found")
+	}
+	if row.AvgRecall < res.Params.TargetRecall {
+		t.Fatalf("recall %v below target at the reported threshold", row.AvgRecall)
+	}
+	if !strings.Contains(res.Table(), "Table III") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestStress(t *testing.T) {
+	res, err := RunStress(StressParamsFor(6, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 { // one carrier count × {even, bursty}
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Recall < 0.3 {
+			t.Fatalf("recall %v too low for %d carriers (bursty=%v)", c.Recall, c.Carriers, c.Bursty)
+		}
+	}
+	if !strings.Contains(res.Table(), "stress test") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestAblationOffsets(t *testing.T) {
+	res, err := RunAblationOffsets(AblationOffsetsParamsFor(7, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// More offsets, more matches; measured near predicted.
+	if res.Rows[1].Measured <= res.Rows[0].Measured {
+		t.Fatalf("match rate not increasing with k: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if diff := row.Measured - row.Predicted; diff < -0.25 || diff > 0.25 {
+			t.Fatalf("k=%d measured %v vs predicted %v", row.K, row.Measured, row.Predicted)
+		}
+	}
+}
+
+func TestAblationHopefuls(t *testing.T) {
+	res, err := RunAblationHopefuls(AblationHopefulsParamsFor(8, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Detected < 0.5 {
+			t.Fatalf("K=%d detected only %v of a strong 100x30 pattern", row.K, row.Detected)
+		}
+	}
+}
+
+func TestAblationSampling(t *testing.T) {
+	res, err := RunAblationSampling(AblationSamplingParamsFor(9, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, sampled := res.Rows[0], res.Rows[1]
+	if full.Recall < 0.5 {
+		t.Fatalf("full-rate recall %v", full.Recall)
+	}
+	if sampled.WorkFraction >= full.WorkFraction {
+		t.Fatal("sampling should cut correlation work")
+	}
+	if sampled.Recall < 0.25 {
+		t.Fatalf("sampled recall %v collapsed", sampled.Recall)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	res, err := RunPersistence(PersistenceParamsFor(10, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative detection must be monotone non-decreasing and end at or
+	// above the single-epoch rate.
+	prev := 0.0
+	for e, c := range res.CumulativeByEpoch {
+		if c < prev {
+			t.Fatalf("cumulative curve decreased at epoch %d: %v", e, res.CumulativeByEpoch)
+		}
+		prev = c
+	}
+	last := res.CumulativeByEpoch[len(res.CumulativeByEpoch)-1]
+	if last < res.PerEpochDetect {
+		t.Fatalf("cumulative %v below per-epoch %v", last, res.PerEpochDetect)
+	}
+	if !strings.Contains(res.Table(), "persistence") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	res, err := RunComplexity(ComplexityParamsFor(11, ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.NaiveDetect < 0.5 || row.RefinedDetect < 0.5 {
+			t.Fatalf("n=%d: detection naive=%v refined=%v", row.Cols, row.NaiveDetect, row.RefinedDetect)
+		}
+		if row.SubsetSize > row.Cols {
+			t.Fatalf("n'=%d exceeds n=%d", row.SubsetSize, row.Cols)
+		}
+	}
+	if !strings.Contains(res.Table(), "Complexity") {
+		t.Fatal("table rendering broken")
+	}
+}

@@ -1,0 +1,291 @@
+// Package graph implements the random-graph machinery of the unaligned
+// analysis (§IV-B): simple undirected graphs, connected components for the
+// Erdős–Rényi phase-transition test, the greedy min-degree peeling that the
+// paper proves stochastically optimal for core finding, and samplers for
+// G(n,p) plus planted dense subgraphs used by the Monte-Carlo experiments.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"dcstream/internal/stats"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1. Use New and
+// AddEdge to build one; AddEdge ignores self-loops and duplicate edges so
+// the graph always stays simple, matching the paper's construction.
+type Graph struct {
+	adj   [][]int32
+	edges int
+	seen  map[uint64]struct{}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int32, n), seen: make(map[uint64]struct{})}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of (undirected) edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicates are
+// ignored (the induced graphs must be simple). Out-of-range vertices panic.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	}
+	if u == v {
+		return
+	}
+	k := edgeKey(u, v)
+	if _, dup := g.seen[k]; dup {
+		return
+	}
+	g.seen[k] = struct{}{}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.edges++
+}
+
+// HasEdge reports whether {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.seen[edgeKey(u, v)]
+	return ok
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's adjacency list (shared storage; do not mutate).
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// ComponentSizes returns the size of every connected component, unordered,
+// computed with a union-find in near-linear time.
+func (g *Graph) ComponentSizes() []int {
+	n := len(g.adj)
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				ru, rv := find(int32(u)), find(v)
+				if ru != rv {
+					if size[ru] < size[rv] {
+						ru, rv = rv, ru
+					}
+					parent[rv] = ru
+					size[ru] += size[rv]
+				}
+			}
+		}
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if find(int32(i)) == int32(i) {
+			out = append(out, int(size[i]))
+		}
+	}
+	return out
+}
+
+// LargestComponent returns the size of the largest connected component — the
+// Erdős–Rényi test statistic. An empty graph returns 0.
+func (g *Graph) LargestComponent() int {
+	max := 0
+	for _, s := range g.ComponentSizes() {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// PeelOrder returns the deletion sequence of the greedy min-degree
+// algorithm (Figure 10's FindCore loop): at every step the vertex with the
+// smallest degree in the remaining induced subgraph is deleted, ties broken
+// by vertex id. A lazy binary heap keeps this O((V+E) log V), which is
+// plenty for the sparse graphs the unaligned analysis induces.
+func (g *Graph) PeelOrder() []int32 {
+	n := len(g.adj)
+	deg := make([]int32, n)
+	h := make(peelHeap, 0, n)
+	for v := range g.adj {
+		deg[v] = int32(len(g.adj[v]))
+		h = append(h, peelEntry{deg: deg[v], v: int32(v)})
+	}
+	heap.Init(&h)
+	deleted := make([]bool, n)
+	out := make([]int32, 0, n)
+	for len(out) < n {
+		e := heap.Pop(&h).(peelEntry)
+		if deleted[e.v] || e.deg != deg[e.v] {
+			continue // stale entry superseded by a later decrement
+		}
+		deleted[e.v] = true
+		out = append(out, e.v)
+		for _, u := range g.adj[e.v] {
+			if deleted[u] {
+				continue
+			}
+			deg[u]--
+			heap.Push(&h, peelEntry{deg: deg[u], v: u})
+		}
+	}
+	return out
+}
+
+type peelEntry struct {
+	deg int32
+	v   int32
+}
+
+type peelHeap []peelEntry
+
+func (h peelHeap) Len() int { return len(h) }
+func (h peelHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg < h[j].deg
+	}
+	return h[i].v < h[j].v
+}
+func (h peelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *peelHeap) Push(x interface{}) { *h = append(*h, x.(peelEntry)) }
+func (h *peelHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Core returns the vertex set that survives greedy min-degree peeling until
+// exactly beta vertices remain (Figure 10's FindCore). If beta >= n the full
+// vertex set is returned; beta <= 0 returns nil.
+func (g *Graph) Core(beta int) []int {
+	n := len(g.adj)
+	if beta <= 0 {
+		return nil
+	}
+	if beta > n {
+		beta = n
+	}
+	order := g.PeelOrder()
+	core := make([]int, 0, beta)
+	for _, v := range order[n-beta:] {
+		core = append(core, int(v))
+	}
+	return core
+}
+
+// CountEdgesInto returns, for each vertex, how many of its neighbors lie in
+// the given set. Used by the core-expansion step (step 3 of §IV-B).
+func (g *Graph) CountEdgesInto(set []int) []int {
+	in := make([]bool, len(g.adj))
+	for _, v := range set {
+		in[v] = true
+	}
+	counts := make([]int, len(g.adj))
+	for u := range g.adj {
+		c := 0
+		for _, w := range g.adj[u] {
+			if in[w] {
+				c++
+			}
+		}
+		counts[u] = c
+	}
+	return counts
+}
+
+// Induced returns the subgraph induced by keep, plus the mapping from new
+// vertex ids to original ids (newID -> origID).
+func (g *Graph) Induced(keep []int) (*Graph, []int) {
+	idx := make(map[int]int, len(keep))
+	orig := make([]int, len(keep))
+	for i, v := range keep {
+		if v < 0 || v >= len(g.adj) {
+			panic(fmt.Sprintf("graph: induced vertex %d out of range", v))
+		}
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in induced set", v))
+		}
+		idx[v] = i
+		orig[i] = v
+	}
+	h := New(len(keep))
+	for i, v := range keep {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && i < j {
+				h.AddEdge(i, j)
+			}
+		}
+	}
+	return h, orig
+}
+
+// GNP samples an Erdős–Rényi random graph G(n, p): each of the C(n,2)
+// possible edges present independently with probability p. For the sparse
+// regimes this project uses (p near 1/n), it draws the edge count from
+// Binomial(C(n,2), p) and then that many distinct uniform pairs, avoiding
+// the quadratic scan.
+func GNP(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	if n < 2 || p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	pairs := int64(n) * int64(n-1) / 2
+	m := stats.Binomial(rng, pairs, p)
+	for int64(g.NumEdges()) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(u, v) // duplicates and self-loops are ignored; retry
+	}
+	return g
+}
+
+// PlantDense adds, among the given vertices, each missing pair as an edge
+// independently with probability p — the "preferential attachment" planted
+// subgraph of the alternative hypothesis.
+func PlantDense(rng *rand.Rand, g *Graph, vertices []int, p float64) {
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			if rng.Float64() < p {
+				g.AddEdge(vertices[i], vertices[j])
+			}
+		}
+	}
+}

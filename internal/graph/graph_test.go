@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"dcstream/internal/stats"
+)
+
+func TestAddEdgeSimpleGraphInvariants(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate, reversed
+	g.AddEdge(0, 1) // duplicate
+	g.AddEdge(2, 2) // self-loop
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges=%d want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge symmetric lookup failed")
+	}
+	if g.HasEdge(2, 2) || g.Degree(2) != 0 {
+		t.Fatal("self-loop was stored")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("degrees wrong after dedupe")
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).AddEdge(0, 3)
+}
+
+func TestComponentSizes(t *testing.T) {
+	// Two triangles, one path of 2, three isolated vertices: sizes 3,3,2,1,1,1.
+	g := New(11)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	g.AddEdge(6, 7)
+	sizes := g.ComponentSizes()
+	sort.Ints(sizes)
+	want := []int{1, 1, 1, 2, 3, 3}
+	if len(sizes) != len(want) {
+		t.Fatalf("components %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("components %v want %v", sizes, want)
+		}
+	}
+	if g.LargestComponent() != 3 {
+		t.Fatalf("LargestComponent=%d", g.LargestComponent())
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	if New(0).LargestComponent() != 0 {
+		t.Fatal("empty graph largest component should be 0")
+	}
+	if New(4).LargestComponent() != 1 {
+		t.Fatal("edgeless graph largest component should be 1")
+	}
+}
+
+// inducedDegree computes v's degree within the vertex set `alive`.
+func inducedDegree(g *Graph, v int, alive map[int]bool) int {
+	d := 0
+	for _, w := range g.Neighbors(v) {
+		if alive[int(w)] {
+			d++
+		}
+	}
+	return d
+}
+
+// TestPeelOrderIsMinDegreeGreedy checks the defining invariant of the greedy
+// deletion sequence on random graphs: at every step, the deleted vertex has
+// minimum degree in the remaining induced subgraph. This holds regardless of
+// tie-breaking, so it validates the bucket implementation exactly.
+func TestPeelOrderIsMinDegreeGreedy(t *testing.T) {
+	rng := stats.NewRand(17)
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(60)
+		g := GNP(rng, n, 3.0/float64(n))
+		order := g.PeelOrder()
+		if len(order) != n {
+			t.Fatalf("order length %d want %d", len(order), n)
+		}
+		alive := map[int]bool{}
+		for v := 0; v < n; v++ {
+			alive[v] = true
+		}
+		for _, v32 := range order {
+			v := int(v32)
+			if !alive[v] {
+				t.Fatalf("vertex %d deleted twice", v)
+			}
+			dv := inducedDegree(g, v, alive)
+			for w := range alive {
+				if dw := inducedDegree(g, w, alive); dw < dv {
+					t.Fatalf("deleted %d (deg %d) but %d has deg %d", v, dv, w, dw)
+				}
+			}
+			delete(alive, v)
+		}
+	}
+}
+
+func TestCoreFindsPlantedClique(t *testing.T) {
+	rng := stats.NewRand(23)
+	const n = 400
+	g := GNP(rng, n, 1.0/n)
+	clique := stats.SampleDistinct(rng, n, 12)
+	PlantDense(rng, g, clique, 1.0) // full clique
+	core := g.Core(12)
+	want := map[int]bool{}
+	for _, v := range clique {
+		want[v] = true
+	}
+	hits := 0
+	for _, v := range core {
+		if want[v] {
+			hits++
+		}
+	}
+	if hits != 12 {
+		t.Fatalf("core recovered %d/12 clique vertices: %v", hits, core)
+	}
+}
+
+func TestCoreEdgeCases(t *testing.T) {
+	g := New(5)
+	if got := g.Core(0); got != nil {
+		t.Fatalf("Core(0)=%v want nil", got)
+	}
+	if got := g.Core(99); len(got) != 5 {
+		t.Fatalf("Core(99) should return all vertices, got %d", len(got))
+	}
+	if got := g.Core(2); len(got) != 2 {
+		t.Fatalf("Core(2) len=%d", len(got))
+	}
+}
+
+func TestCountEdgesInto(t *testing.T) {
+	// Star: center 0 connected to 1..4. Set {1,2}: center has 2, leaves in
+	// the set have 0 (their only edge goes to 0, not into the set).
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.AddEdge(0, v)
+	}
+	counts := g.CountEdgesInto([]int{1, 2})
+	want := []int{2, 0, 0, 0, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts=%v want %v", counts, want)
+		}
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	g.AddEdge(4, 5)
+	h, orig := g.Induced([]int{0, 1, 3})
+	if h.NumVertices() != 3 || h.NumEdges() != 2 {
+		t.Fatalf("induced V=%d E=%d want 3,2", h.NumVertices(), h.NumEdges())
+	}
+	// Edges 0-1 and 3-0 survive under the mapping.
+	find := func(o int) int {
+		for i, v := range orig {
+			if v == o {
+				return i
+			}
+		}
+		t.Fatalf("orig %d missing", o)
+		return -1
+	}
+	if !h.HasEdge(find(0), find(1)) || !h.HasEdge(find(0), find(3)) {
+		t.Fatal("induced edges wrong")
+	}
+	if h.HasEdge(find(1), find(3)) {
+		t.Fatal("phantom edge in induced subgraph")
+	}
+}
+
+func TestInducedDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).Induced([]int{1, 1})
+}
+
+func TestGNPEdgeCount(t *testing.T) {
+	rng := stats.NewRand(31)
+	const n = 2000
+	p := 2.0 / n
+	g := GNP(rng, n, p)
+	mean := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	if got < mean*0.85 || got > mean*1.15 {
+		t.Fatalf("GNP edges %v, expected ≈%v", got, mean)
+	}
+	// p<=0 and p>=1 extremes.
+	if GNP(rng, 50, 0).NumEdges() != 0 {
+		t.Fatal("GNP p=0 has edges")
+	}
+	if GNP(rng, 10, 1).NumEdges() != 45 {
+		t.Fatal("GNP p=1 not complete")
+	}
+}
+
+// TestERPhaseTransition reproduces the theorem the detection test leans on:
+// below 1/n the largest component is O(log n); above it a giant component
+// emerges. This is the paper's §IV-B foundation.
+func TestERPhaseTransition(t *testing.T) {
+	rng := stats.NewRand(37)
+	const n = 20000
+	sub := GNP(rng, n, 0.5/n).LargestComponent()
+	super := GNP(rng, n, 2.0/n).LargestComponent()
+	if sub > 60 { // ~O(log n) with generous slack
+		t.Fatalf("subcritical largest component %d, expected small", sub)
+	}
+	if super < n/10 { // giant component is Θ(n)
+		t.Fatalf("supercritical largest component %d, expected giant", super)
+	}
+}
+
+func TestPlantDenseRaisesConnectivity(t *testing.T) {
+	rng := stats.NewRand(41)
+	const n = 5000
+	g := GNP(rng, n, 0.5/n)
+	before := g.LargestComponent()
+	verts := stats.SampleDistinct(rng, n, 100)
+	PlantDense(rng, g, verts, 0.3)
+	after := g.LargestComponent()
+	if after < 90 || after <= before {
+		t.Fatalf("planting did not create large component: before=%d after=%d", before, after)
+	}
+}
+
+func BenchmarkPeelOrder(b *testing.B) {
+	rng := stats.NewRand(5)
+	g := GNP(rng, 100000, 2.0/100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PeelOrder()
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	rng := stats.NewRand(5)
+	g := GNP(rng, 100000, 1.5/100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LargestComponent()
+	}
+}

@@ -1,0 +1,78 @@
+// Package hashing provides the seeded uniform hash family the collection
+// modules use to map packet-payload fragments and flow labels to bitmap
+// indices. The paper assumes fast hardware hash functions [Ramakrishna et
+// al.]; here a software FNV-1a core with a SplitMix-style avalanche
+// finalizer stands in. Only uniformity and seed-independence matter for the
+// algorithms, and both are asserted by the package tests.
+package hashing
+
+import "math/bits"
+
+// Hash64 is a seeded streaming hash over byte slices. Distinct seeds give
+// effectively independent hash functions, which the unaligned collector
+// relies on (one function per offset array) to keep collisions across
+// arrays uncorrelated.
+type Hash64 struct {
+	seed uint64
+}
+
+// New returns the hash function with the given seed.
+func New(seed uint64) Hash64 { return Hash64{seed: seed} }
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// Sum returns the 64-bit hash of data under this function.
+func (h Hash64) Sum(data []byte) uint64 {
+	x := fnvOffset ^ (h.seed * 0x9e3779b97f4a7c15)
+	for _, b := range data {
+		x ^= uint64(b)
+		x *= fnvPrime
+	}
+	return finalize(x ^ h.seed)
+}
+
+// SumUint64 hashes a single 64-bit value (e.g. a flow label) under this
+// function, avoiding byte-slice allocation on the per-packet hot path.
+func (h Hash64) SumUint64(v uint64) uint64 {
+	x := uint64(fnvOffset) ^ (h.seed * 0x9e3779b97f4a7c15)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime
+		v >>= 8
+	}
+	return finalize(x ^ h.seed)
+}
+
+// Index returns Sum(data) reduced to [0, n). n must be positive.
+func (h Hash64) Index(data []byte, n int) int {
+	if n <= 0 {
+		panic("hashing: non-positive range")
+	}
+	return int(reduce(h.Sum(data), uint64(n)))
+}
+
+// IndexUint64 returns SumUint64(v) reduced to [0, n). n must be positive.
+func (h Hash64) IndexUint64(v uint64, n int) int {
+	if n <= 0 {
+		panic("hashing: non-positive range")
+	}
+	return int(reduce(h.SumUint64(v), uint64(n)))
+}
+
+// finalize applies a strong avalanche so that low-entropy inputs (short
+// fragments, sequential flow labels) still spread across the whole range.
+func finalize(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// reduce maps a 64-bit hash to [0, n) using the multiply-shift trick, which
+// is unbiased to within 2^-64 and avoids the modulo's bias and cost.
+func reduce(x, n uint64) uint64 {
+	hi, _ := bits.Mul64(x, n)
+	return hi
+}

@@ -1,0 +1,126 @@
+// Package rabin implements Rabin fingerprinting by random polynomials over
+// GF(2) [Rabin 1981], the substring-fingerprint scheme used by the
+// single-vantage systems the paper relates to: EarlyBird's content sifting
+// [Singh et al.] and protocol-independent redundancy elimination
+// [Spring & Wetherall]. The baseline package builds its content-prevalence
+// detector on it, giving the repository a faithful comparison point.
+//
+// The fingerprint of bytes b₁…b_w is Σ bᵢ·x^{8(w-i)} mod P over GF(2),
+// with P an irreducible degree-63 polynomial. A Roller fingerprints every
+// w-byte substring of a stream in O(1) per byte via the rolling identity
+//
+//	F' = F·x⁸ + c − b_old·x^{8w}   (mod P, − is XOR over GF(2)).
+package rabin
+
+import "fmt"
+
+// Poly is the degree-63 irreducible polynomial (implicit x^63 leading term
+// folded into the reduction); the value is the LBFS-lineage constant.
+const Poly uint64 = 0xbfe6b8a5bf378d83
+
+// mod2Step returns (fp·x⁸ + b) mod P, bit by bit.
+func mod2Step(fp uint64, b byte) uint64 {
+	for i := 7; i >= 0; i-- {
+		bit := fp >> 63
+		fp = fp<<1 | uint64((b>>uint(i))&1)
+		if bit != 0 {
+			fp ^= Poly
+		}
+	}
+	return fp
+}
+
+// topTable[t] = t·x^64 mod P: the reduction applied when byte t shifts out
+// of the 64-bit accumulator during a table-driven step.
+var topTable = func() [256]uint64 {
+	var tab [256]uint64
+	for b := 0; b < 256; b++ {
+		fp := mod2Step(0, byte(b)) // b·x⁰ (degree ≤ 7, no reduction yet)
+		for i := 0; i < 8; i++ {
+			fp = mod2Step(fp, 0) // ×x⁸ each time → b·x^64
+		}
+		tab[b] = fp
+	}
+	return tab
+}()
+
+// step returns (fp·x⁸ + b) mod P via one table lookup.
+func step(fp uint64, b byte) uint64 {
+	top := byte(fp >> 56)
+	return (fp<<8 | uint64(b)) ^ topTable[top]
+}
+
+// Fingerprint returns the fingerprint of data in one pass.
+func Fingerprint(data []byte) uint64 {
+	fp := uint64(0)
+	for _, b := range data {
+		fp = step(fp, b)
+	}
+	return fp
+}
+
+// Table precomputes the drop table for one window size.
+type Table struct {
+	window int
+	drop   [256]uint64 // drop[b] = b·x^{8w} mod P
+}
+
+// NewTable builds the tables for a w-byte window; w must be positive.
+func NewTable(w int) (*Table, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("rabin: window must be positive, got %d", w)
+	}
+	t := &Table{window: w}
+	for b := 0; b < 256; b++ {
+		fp := mod2Step(0, byte(b)) // b
+		for i := 0; i < w; i++ {
+			fp = step(fp, 0) // ×x⁸ w times → b·x^{8w}
+		}
+		t.drop[b] = fp
+	}
+	return t, nil
+}
+
+// Window returns the window size.
+func (t *Table) Window() int { return t.window }
+
+// Roller computes fingerprints of every window-sized substring of a stream.
+// Not safe for concurrent use.
+type Roller struct {
+	t   *Table
+	buf []byte
+	pos int
+	n   int
+	fp  uint64
+}
+
+// NewRoller returns a roller over t's window.
+func (t *Table) NewRoller() *Roller {
+	return &Roller{t: t, buf: make([]byte, t.window)}
+}
+
+// Roll feeds one byte. ok becomes true once a full window has been seen;
+// fp is then the fingerprint of the most recent window bytes.
+func (r *Roller) Roll(b byte) (fp uint64, ok bool) {
+	old := r.buf[r.pos]
+	r.buf[r.pos] = b
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
+	r.fp = step(r.fp, b)
+	if r.n >= len(r.buf) {
+		r.fp ^= r.t.drop[old]
+	} else {
+		r.n++
+	}
+	return r.fp, r.n >= len(r.buf)
+}
+
+// Reset clears the roller for a new stream.
+func (r *Roller) Reset() {
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+	r.pos, r.n, r.fp = 0, 0, 0
+}

@@ -1,0 +1,166 @@
+package rabin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcstream/internal/stats"
+)
+
+func TestFingerprintDeterministicAndDiscriminating(t *testing.T) {
+	a := Fingerprint([]byte("the quick brown fox"))
+	if a != Fingerprint([]byte("the quick brown fox")) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == Fingerprint([]byte("the quick brown fix")) {
+		t.Fatal("one-byte change collided (astronomically unlikely)")
+	}
+	if Fingerprint(nil) != 0 {
+		t.Fatal("empty fingerprint should be 0")
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(0); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := NewTable(-3); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	tab, err := NewTable(16)
+	if err != nil || tab.Window() != 16 {
+		t.Fatalf("NewTable(16): %v", err)
+	}
+}
+
+// TestRollingMatchesDirect is the defining property: after feeding
+// b_1..b_t (t >= w), the roller's fingerprint equals the direct fingerprint
+// of the last w bytes.
+func TestRollingMatchesDirect(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 31, 64} {
+		tab, err := NewTable(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRand(uint64(w))
+		data := make([]byte, 4*w+7)
+		rng.Read(data)
+		r := tab.NewRoller()
+		for i, b := range data {
+			fp, ok := r.Roll(b)
+			if (i >= w-1) != ok {
+				t.Fatalf("w=%d pos=%d: ok=%v", w, i, ok)
+			}
+			if ok {
+				want := Fingerprint(data[i+1-w : i+1])
+				if fp != want {
+					t.Fatalf("w=%d pos=%d: rolled %x want %x", w, i, fp, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRollingMatchesDirect(t *testing.T) {
+	tab, _ := NewTable(8)
+	f := func(data []byte) bool {
+		if len(data) < 8 {
+			return true
+		}
+		r := tab.NewRoller()
+		var last uint64
+		for _, b := range data {
+			last, _ = r.Roll(b)
+		}
+		return last == Fingerprint(data[len(data)-8:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollerReset(t *testing.T) {
+	tab, _ := NewTable(4)
+	r := tab.NewRoller()
+	for _, b := range []byte("abcdef") {
+		r.Roll(b)
+	}
+	r.Reset()
+	var fps []uint64
+	for _, b := range []byte("wxyz") {
+		fp, ok := r.Roll(b)
+		if ok {
+			fps = append(fps, fp)
+		}
+	}
+	if len(fps) != 1 || fps[0] != Fingerprint([]byte("wxyz")) {
+		t.Fatalf("after reset: %x", fps)
+	}
+}
+
+// TestSharedSubstringDetected: two streams sharing a w-byte substring at
+// different positions emit one identical fingerprint — the position
+// independence that makes Rabin sifting robust to the unaligned case at a
+// single vantage point.
+func TestSharedSubstringDetected(t *testing.T) {
+	const w = 16
+	tab, _ := NewTable(w)
+	rng := stats.NewRand(7)
+	shared := make([]byte, w)
+	rng.Read(shared)
+	mk := func(prefixLen int) map[uint64]bool {
+		prefix := make([]byte, prefixLen)
+		rng.Read(prefix)
+		stream := append(append([]byte(nil), prefix...), shared...)
+		r := tab.NewRoller()
+		set := map[uint64]bool{}
+		for _, b := range stream {
+			if fp, ok := r.Roll(b); ok {
+				set[fp] = true
+			}
+		}
+		return set
+	}
+	a, b := mk(13), mk(37)
+	common := 0
+	for fp := range a {
+		if b[fp] {
+			common++
+		}
+	}
+	if common < 1 {
+		t.Fatal("shared substring not detected across different offsets")
+	}
+}
+
+func TestUniformityOfFingerprints(t *testing.T) {
+	// Low bits of fingerprints of random 16-byte strings should be near-uniform
+	// across 64 bins (chi-square, same critical region as hashing tests).
+	rng := stats.NewRand(9)
+	const bins = 64
+	counts := make([]int, bins)
+	buf := make([]byte, 16)
+	const n = 64000
+	for i := 0; i < n; i++ {
+		rng.Read(buf)
+		counts[Fingerprint(buf)%bins]++
+	}
+	expected := float64(n) / bins
+	chi := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	if chi > 110 {
+		t.Fatalf("chi-square %.1f: fingerprints biased", chi)
+	}
+}
+
+func BenchmarkRoll(b *testing.B) {
+	tab, _ := NewTable(16)
+	r := tab.NewRoller()
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		r.Roll(byte(i))
+	}
+}

@@ -1,0 +1,143 @@
+// Package stats provides the probability machinery that the DCS paper's
+// threshold computations and Monte-Carlo evaluations rest on: a fast
+// deterministic random source, binomial and hypergeometric distribution
+// functions evaluated in log space (the tails involved are as small as
+// 1e-10), tail-quantile searches, and samplers (Bernoulli matrices, distinct
+// subsets, Poisson / binomial counts, Zipf).
+//
+// Everything here is deterministic given a seed, so every experiment in the
+// repository is exactly reproducible.
+package stats
+
+import "math/rand"
+
+// splitmix64 is a tiny, well-mixed PRNG (Vigna's SplitMix64) implementing
+// math/rand.Source64. It is the seed-expander used throughout the project;
+// the sequence quality is more than sufficient for Monte-Carlo work and it
+// is allocation-free and trivially reproducible.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// NewRand returns a deterministic *rand.Rand seeded with the given value.
+// Distinct seeds yield independent-looking streams.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(&splitmix64{state: seed})
+}
+
+// SampleDistinct returns k distinct integers drawn uniformly from [0, n),
+// in no particular order. It panics if k > n or either is negative.
+// For k much smaller than n it uses rejection against a set; otherwise a
+// partial Fisher-Yates shuffle.
+func SampleDistinct(r *rand.Rand, n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("stats: SampleDistinct requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return nil
+	}
+	// Rejection sampling is expected O(k) when the sample is sparse.
+	if k*8 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}
+
+// Poisson draws a Poisson(mean) variate. Small means use Knuth's product
+// method; large means use a normal approximation, which is accurate to well
+// within Monte-Carlo noise for the edge-count sampling this project does.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean < 0 {
+		panic("stats: negative Poisson mean")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := exp(-mean)
+		k, p := 0, 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := mean + sqrt(mean)*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// Binomial draws a Binomial(n, p) variate. Exact inversion for small n·p and
+// small n; Poisson or normal approximations otherwise (again: Monte-Carlo
+// grade, documented in DESIGN.md).
+func Binomial(r *rand.Rand, n int64, p float64) int64 {
+	switch {
+	case p <= 0 || n <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if p > 0.5 {
+		return n - Binomial(r, n, 1-p)
+	}
+	mean := float64(n) * p
+	switch {
+	case n <= 64:
+		var c int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				c++
+			}
+		}
+		return c
+	case mean < 30:
+		// Poisson limit: n large, p small.
+		v := int64(Poisson(r, mean))
+		if v > n {
+			v = n
+		}
+		return v
+	default:
+		sd := sqrt(mean * (1 - p))
+		v := mean + sd*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		if v > float64(n) {
+			return n
+		}
+		return int64(v + 0.5)
+	}
+}

@@ -1,0 +1,131 @@
+// Package traceio reads and writes the simple binary packet-trace format
+// used by cmd/dcstrace, standing in for the pcap-style traces the paper's
+// stress test consumed. A trace is a stream of records:
+//
+//	flow    uint64 little-endian
+//	length  uint32 little-endian
+//	payload [length]byte
+//
+// The reader is streaming (io.Reader based) so multi-gigabyte traces replay
+// without buffering; the writer is the exact inverse.
+package traceio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dcstream/internal/packet"
+)
+
+// maxPayload bounds one record so corrupt input cannot force unbounded
+// allocation. Jumbo frames top out far below this.
+const maxPayload = 1 << 20
+
+// ErrCorrupt reports a structurally invalid trace.
+var ErrCorrupt = errors.New("traceio: corrupt trace")
+
+// Writer emits packets in trace format.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one packet record.
+func (t *Writer) Write(p packet.Packet) error {
+	if t.err != nil {
+		return t.err
+	}
+	if len(p.Payload) > maxPayload {
+		t.err = fmt.Errorf("traceio: payload of %d bytes exceeds limit", len(p.Payload))
+		return t.err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(p.Flow))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(p.Payload)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := t.w.Write(p.Payload); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() int { return t.n }
+
+// Flush drains the buffer; call before closing the underlying file.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader replays packets from trace format.
+type Reader struct {
+	r *bufio.Reader
+	n int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next packet, or io.EOF at a clean end of trace. The
+// returned payload is freshly allocated and safe to retain.
+func (t *Reader) Read() (packet.Packet, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return packet.Packet{}, io.EOF
+		}
+		return packet.Packet{}, fmt.Errorf("%w: truncated header after %d records", ErrCorrupt, t.n)
+	}
+	length := binary.LittleEndian.Uint32(hdr[8:])
+	if length > maxPayload {
+		return packet.Packet{}, fmt.Errorf("%w: record %d claims %d payload bytes", ErrCorrupt, t.n, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(t.r, payload); err != nil {
+		return packet.Packet{}, fmt.Errorf("%w: truncated payload in record %d", ErrCorrupt, t.n)
+	}
+	t.n++
+	return packet.Packet{
+		Flow:    packet.FlowLabel(binary.LittleEndian.Uint64(hdr[0:])),
+		Payload: payload,
+	}, nil
+}
+
+// Count returns the number of records read so far.
+func (t *Reader) Count() int { return t.n }
+
+// ForEach replays the whole trace through fn, stopping on the first error
+// from fn or a corrupt record. A clean EOF returns nil.
+func (t *Reader) ForEach(fn func(packet.Packet) error) error {
+	for {
+		p, err := t.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler consumes one decoded digest message at the analysis center.
+// Handlers may be called concurrently, one goroutine per collector
+// connection.
+type Handler func(m Message, from net.Addr)
+
+// Server is the analysis center's digest sink: it accepts collector
+// connections and feeds every decoded frame to the handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0" to pick a free port).
+func Serve(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		m, err := Read(conn)
+		if err != nil {
+			return // EOF, frame error, or connection closed
+		}
+		s.handler(m, conn.RemoteAddr())
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for the handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a collector's connection to the analysis center.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to an analysis center with the given timeout (zero means
+// 5 seconds).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send ships one digest message; safe for concurrent use.
+func (c *Client) Send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Write(c.conn, m)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,241 @@
+// Package transport implements the "ship digests to the analysis center"
+// leg of the DCS architecture (Figure 2): a compact binary wire format for
+// the aligned and unaligned digests and a TCP server/client pair. A digest
+// is three orders of magnitude smaller than the traffic it summarizes, so a
+// single analysis center can terminate thousands of collector connections.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/unaligned"
+)
+
+// Frame layout (little-endian):
+//
+//	magic   uint32  'D','C','S','1'
+//	type    uint8   message kind
+//	length  uint32  payload byte count
+//	crc     uint32  CRC-32C (Castagnoli) of the payload
+//	payload [length]byte
+//
+// The checksum guards the analysis center against digest corruption in
+// flight: a flipped bit in a bitmap would otherwise silently perturb the
+// correlation statistics rather than fail loudly.
+const (
+	magic = 0x31534344 // "DCS1"
+
+	headerLen = 13
+
+	typeAligned   = 1
+	typeUnaligned = 2
+
+	// maxFrame bounds a frame's payload so a corrupt or hostile peer
+	// cannot make the center allocate unbounded memory. The largest
+	// legitimate digest (a 4M-bit aligned bitmap) is 512 KiB.
+	maxFrame = 64 << 20
+)
+
+// ErrBadFrame reports a malformed or oversized frame.
+var ErrBadFrame = errors.New("transport: malformed frame")
+
+// Message is a value that can travel over the digest channel.
+type Message interface{ isMessage() }
+
+// AlignedDigest carries one router's aligned-case epoch bitmap.
+type AlignedDigest struct {
+	RouterID int
+	Epoch    int
+	Bitmap   *bitvec.Vector
+}
+
+func (AlignedDigest) isMessage() {}
+
+// UnalignedDigest carries one router's unaligned-case array bank.
+type UnalignedDigest struct {
+	Epoch  int
+	Digest *unaligned.Digest
+}
+
+func (UnalignedDigest) isMessage() {}
+
+// Write encodes a message as one frame on w.
+func Write(w io.Writer, m Message) error {
+	var kind byte
+	var payload []byte
+	switch d := m.(type) {
+	case AlignedDigest:
+		kind = typeAligned
+		payload = encodeAligned(d)
+	case UnalignedDigest:
+		kind = typeUnaligned
+		payload = encodeUnaligned(d)
+	default:
+		return fmt.Errorf("transport: unknown message type %T", m)
+	}
+	hdr := make([]byte, headerLen)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	hdr[4] = kind
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[9:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	return nil
+}
+
+// castagnoli is the CRC-32C table shared by Write and Read.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Read decodes the next frame from r. io.EOF is returned unwrapped when the
+// stream ends cleanly at a frame boundary.
+func Read(r io.Reader) (Message, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	length := binary.LittleEndian.Uint32(hdr[5:])
+	if length > maxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrBadFrame, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(hdr[9:]); got != want {
+		return nil, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrBadFrame, got, want)
+	}
+	switch hdr[4] {
+	case typeAligned:
+		return decodeAligned(payload)
+	case typeUnaligned:
+		return decodeUnaligned(payload)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[4])
+	}
+}
+
+func putVector(buf []byte, v *bitvec.Vector) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(v.Len()))
+	buf = append(buf, tmp[:4]...)
+	for _, w := range v.Words() {
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func getVector(buf []byte) (*bitvec.Vector, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated vector header", ErrBadFrame)
+	}
+	bits := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if bits < 0 || bits > maxFrame*8 {
+		return nil, nil, fmt.Errorf("%w: vector of %d bits", ErrBadFrame, bits)
+	}
+	words := (bits + 63) / 64
+	if len(buf) < words*8 {
+		return nil, nil, fmt.Errorf("%w: truncated vector body", ErrBadFrame)
+	}
+	v := bitvec.New(bits)
+	dst := v.Words()
+	for i := 0; i < words; i++ {
+		dst[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	buf = buf[words*8:]
+	// Reject set bits beyond Len: they would corrupt weight computations.
+	if rem := bits % 64; rem != 0 && words > 0 && dst[words-1]>>uint(rem) != 0 {
+		return nil, nil, fmt.Errorf("%w: tail bits set beyond vector length", ErrBadFrame)
+	}
+	return v, buf, nil
+}
+
+func encodeAligned(d AlignedDigest) []byte {
+	buf := make([]byte, 8, 12+len(d.Bitmap.Words())*8)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(d.RouterID))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(d.Epoch))
+	return putVector(buf, d.Bitmap)
+}
+
+func decodeAligned(buf []byte) (Message, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: truncated aligned digest", ErrBadFrame)
+	}
+	d := AlignedDigest{
+		RouterID: int(int32(binary.LittleEndian.Uint32(buf[0:]))),
+		Epoch:    int(int32(binary.LittleEndian.Uint32(buf[4:]))),
+	}
+	v, rest, err := getVector(buf[8:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in aligned digest", ErrBadFrame)
+	}
+	d.Bitmap = v
+	return d, nil
+}
+
+func encodeUnaligned(d UnalignedDigest) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(d.Digest.RouterID))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(d.Epoch))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(d.Digest.Rows)))
+	arrays := 0
+	if len(d.Digest.Rows) > 0 {
+		arrays = len(d.Digest.Rows[0])
+	}
+	binary.LittleEndian.PutUint32(buf[12:], uint32(arrays))
+	for _, group := range d.Digest.Rows {
+		for _, row := range group {
+			buf = putVector(buf, row)
+		}
+	}
+	return buf
+}
+
+func decodeUnaligned(buf []byte) (Message, error) {
+	if len(buf) < 16 {
+		return nil, fmt.Errorf("%w: truncated unaligned digest", ErrBadFrame)
+	}
+	routerID := int(int32(binary.LittleEndian.Uint32(buf[0:])))
+	epoch := int(int32(binary.LittleEndian.Uint32(buf[4:])))
+	groups := int(binary.LittleEndian.Uint32(buf[8:]))
+	arrays := int(binary.LittleEndian.Uint32(buf[12:]))
+	if groups < 0 || arrays < 0 || groups*arrays > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible geometry %dx%d", ErrBadFrame, groups, arrays)
+	}
+	buf = buf[16:]
+	dg := &unaligned.Digest{RouterID: routerID, Rows: make([][]*bitvec.Vector, groups)}
+	for g := 0; g < groups; g++ {
+		dg.Rows[g] = make([]*bitvec.Vector, arrays)
+		for a := 0; a < arrays; a++ {
+			v, rest, err := getVector(buf)
+			if err != nil {
+				return nil, err
+			}
+			dg.Rows[g][a] = v
+			buf = rest
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in unaligned digest", ErrBadFrame)
+	}
+	return UnalignedDigest{Epoch: epoch, Digest: dg}, nil
+}

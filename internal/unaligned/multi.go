@@ -1,0 +1,73 @@
+package unaligned
+
+import (
+	"fmt"
+	"sort"
+
+	"dcstream/internal/graph"
+)
+
+// FindPatterns extracts multiple disjoint clusters from one induced graph
+// (§II-D: one measurement epoch can contain several common contents; the
+// paper's algorithm detects the largest and defers sub-cluster separation).
+// It runs FindPattern, removes the found vertices, re-runs the ER test on
+// the remaining induced subgraph, and repeats while the test still fires
+// (or until maxClusters, 0 meaning no limit).
+//
+// The ER threshold applies to the remaining subgraph at each round, so the
+// procedure stops exactly when what is left looks like a subcritical
+// Erdős–Rényi graph again — the "remaining graph becomes more noisy" stop
+// the paper describes.
+func FindPatterns(g *graph.Graph, cfg PatternConfig, erThreshold, maxClusters int) ([][]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if erThreshold <= 0 {
+		return nil, fmt.Errorf("unaligned: ER threshold must be positive, got %d", erThreshold)
+	}
+	// origID maps the working graph's vertex ids back to g's.
+	work := g
+	origID := make([]int, g.NumVertices())
+	for i := range origID {
+		origID[i] = i
+	}
+	var out [][]int
+	for maxClusters == 0 || len(out) < maxClusters {
+		if !ERTest(work, erThreshold).PatternDetected {
+			break
+		}
+		found, err := FindPattern(work, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(found) == 0 {
+			break
+		}
+		cluster := make([]int, 0, len(found))
+		inFound := make(map[int]bool, len(found))
+		for _, v := range found {
+			cluster = append(cluster, origID[v])
+			inFound[v] = true
+		}
+		sort.Ints(cluster)
+		out = append(out, cluster)
+
+		// Remove the cluster and continue on the rest.
+		keep := make([]int, 0, work.NumVertices()-len(found))
+		for v := 0; v < work.NumVertices(); v++ {
+			if !inFound[v] {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			break
+		}
+		sub, subOrig := work.Induced(keep)
+		next := make([]int, len(subOrig))
+		for i, v := range subOrig {
+			next[i] = origID[v]
+		}
+		work, origID = sub, next
+	}
+	return out, nil
+}

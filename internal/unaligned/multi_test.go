@@ -1,0 +1,176 @@
+package unaligned
+
+import (
+	"testing"
+
+	"dcstream/internal/graph"
+	"dcstream/internal/packet"
+	"dcstream/internal/stats"
+)
+
+// plantCluster adds a dense subgraph over a fresh vertex set and returns it.
+func plantCluster(rng interface {
+	Float64() float64
+	Intn(int) int
+}, g *graph.Graph, used map[int]bool, size int, p float64) []int {
+	var verts []int
+	for len(verts) < size {
+		v := rng.Intn(g.NumVertices())
+		if !used[v] {
+			used[v] = true
+			verts = append(verts, v)
+		}
+	}
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if rng.Float64() < p {
+				g.AddEdge(verts[i], verts[j])
+			}
+		}
+	}
+	return verts
+}
+
+func TestFindPatternsTwoClusters(t *testing.T) {
+	rng := stats.NewRand(70)
+	const n = 20000
+	g := graph.GNP(rng, n, 0.5/n)
+	used := map[int]bool{}
+	a := plantCluster(rng, g, used, 90, 0.25)
+	b := plantCluster(rng, g, used, 60, 0.25)
+
+	clusters, err := FindPatterns(g, PatternConfig{Beta: 30, D: 3}, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("found %d clusters want >=2", len(clusters))
+	}
+	overlap := func(cluster, truth []int) int {
+		set := map[int]bool{}
+		for _, v := range truth {
+			set[v] = true
+		}
+		c := 0
+		for _, v := range cluster {
+			if set[v] {
+				c++
+			}
+		}
+		return c
+	}
+	// The first cluster (largest component peeled first) should be mostly A,
+	// the second mostly B — but order is not guaranteed, so match by best fit.
+	gotA, gotB := false, false
+	for _, cl := range clusters[:2] {
+		if overlap(cl, a) > len(cl)*2/3 {
+			gotA = true
+		}
+		if overlap(cl, b) > len(cl)*2/3 {
+			gotB = true
+		}
+	}
+	if !gotA || !gotB {
+		t.Fatalf("clusters not separated: A=%v B=%v (sizes %d, %d)",
+			gotA, gotB, len(clusters[0]), len(clusters[1]))
+	}
+	// Clusters must be disjoint.
+	seen := map[int]bool{}
+	for _, cl := range clusters {
+		for _, v := range cl {
+			if seen[v] {
+				t.Fatalf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFindPatternsStopsOnNoise(t *testing.T) {
+	rng := stats.NewRand(71)
+	const n = 10000
+	g := graph.GNP(rng, n, 0.5/n)
+	clusters, err := FindPatterns(g, PatternConfig{Beta: 20, D: 3}, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 0 {
+		t.Fatalf("noise graph yielded %d clusters", len(clusters))
+	}
+}
+
+func TestFindPatternsRespectsLimit(t *testing.T) {
+	rng := stats.NewRand(72)
+	const n = 10000
+	g := graph.GNP(rng, n, 0.5/n)
+	used := map[int]bool{}
+	plantCluster(rng, g, used, 80, 0.3)
+	plantCluster(rng, g, used, 80, 0.3)
+	clusters, err := FindPatterns(g, PatternConfig{Beta: 30, D: 3}, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("limit ignored: %d clusters", len(clusters))
+	}
+}
+
+func TestFindPatternsValidation(t *testing.T) {
+	g := graph.New(10)
+	if _, err := FindPatterns(g, PatternConfig{Beta: 0, D: 1}, 5, 0); err == nil {
+		t.Fatal("bad pattern config accepted")
+	}
+	if _, err := FindPatterns(g, PatternConfig{Beta: 2, D: 1}, 0, 0); err == nil {
+		t.Fatal("zero ER threshold accepted")
+	}
+}
+
+func TestLargePayloadDualOffsets(t *testing.T) {
+	cfg := CollectorConfig{
+		Groups: 1, ArraysPerGroup: 5, ArrayBits: 4096,
+		SegmentSize: 100, FragmentLen: 8, MinPayload: 40,
+		LargePayload: 200, HashSeed: 3, OffsetSeed: 5,
+	}
+	c, err := NewCollector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(6)
+	small := make([]byte, 100)
+	large := make([]byte, 250)
+	rng.Read(small)
+	rng.Read(large)
+
+	c.Update(mkPacket(1, small))
+	smallOnes := 0
+	for _, r := range c.Digest(0).Rows[0] {
+		smallOnes += r.OnesCount()
+	}
+	c.Reset()
+	c.Update(mkPacket(1, large))
+	largeOnes := 0
+	for _, r := range c.Digest(0).Rows[0] {
+		largeOnes += r.OnesCount()
+	}
+	// A small packet sets ≤1 bit per array; a large one up to 2 per array.
+	if smallOnes > cfg.ArraysPerGroup {
+		t.Fatalf("small packet set %d bits across %d arrays", smallOnes, cfg.ArraysPerGroup)
+	}
+	if largeOnes <= smallOnes || largeOnes > 2*cfg.ArraysPerGroup {
+		t.Fatalf("large packet set %d bits (small set %d)", largeOnes, smallOnes)
+	}
+}
+
+func TestLargePayloadValidation(t *testing.T) {
+	cfg := testCfg()
+	cfg.LargePayload = -1
+	if _, err := NewCollector(cfg); err == nil {
+		t.Fatal("negative LargePayload accepted")
+	}
+}
+
+// mkPacket builds a packet without importing the packet package name into
+// every call site.
+func mkPacket(flow uint64, payload []byte) packet.Packet {
+	return packet.Packet{Flow: packet.FlowLabel(flow), Payload: payload}
+}

@@ -1,0 +1,141 @@
+package unaligned
+
+import (
+	"fmt"
+	"math"
+
+	"dcstream/internal/stats"
+)
+
+// ClusterSearchConfig drives the non-naturally-occurring cluster-size search
+// of §IV-C (Table II): find the minimum number of pattern vertices m such
+// that some edge-count threshold d separates a pattern subgraph from chance
+// with both type-I error and type-II error controlled. Since the induced
+// graph's p1 (via the λ table) and d trade off, the search co-tunes them
+// over a grid, exactly as the paper's "efficient numerical analysis
+// procedure that searches for the best combination of p1 and d in a
+// brute-force way".
+type ClusterSearchConfig struct {
+	Model Model
+	// TypeI bounds C(n,m)·P[Binomial(m(m-1)/2, p1) > d] (equation (2)).
+	// Zero means 1e-10.
+	TypeI float64
+	// Power is the required P[Binomial(m(m-1)/2, p2) > d] (equation (3)).
+	// Zero means 0.95.
+	Power float64
+	// PStarGrid lists the candidate per-row-pair tails to co-tune over.
+	// Empty means a log-spaced grid from 1e-16 to 1e-4.
+	PStarGrid []float64
+	// MaxM caps the search. Zero means 2000.
+	MaxM int
+}
+
+func (c ClusterSearchConfig) withDefaults() ClusterSearchConfig {
+	if c.TypeI == 0 {
+		c.TypeI = 1e-10
+	}
+	if c.Power == 0 {
+		c.Power = 0.95
+	}
+	if len(c.PStarGrid) == 0 {
+		for e := -16.0; e <= -2.5; e += 0.25 {
+			c.PStarGrid = append(c.PStarGrid, math.Pow(10, e))
+		}
+	}
+	if c.MaxM == 0 {
+		c.MaxM = 2000
+	}
+	return c
+}
+
+// ClusterBound is the result of the minimum-cluster search for one content
+// length g.
+type ClusterBound struct {
+	// G is the content length in packets.
+	G int
+	// M is the minimum non-naturally-occurring cluster size (Table II's
+	// "Minimum Size of m"); -1 if no size up to MaxM suffices.
+	M int
+	// D is the edge-count threshold achieving the bound.
+	D int
+	// PStar and P1, P2 document the co-tuned operating point.
+	PStar, P1, P2 float64
+}
+
+// MinCluster returns the smallest cluster size m for which some (p*, d)
+// pair controls both error kinds, for a common content of g packets.
+func MinCluster(cfg ClusterSearchConfig, g int) (ClusterBound, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return ClusterBound{}, err
+	}
+	cfg = cfg.withDefaults()
+	best := ClusterBound{G: g, M: -1}
+	for _, pstar := range cfg.PStarGrid {
+		p1, p2 := cfg.Model.EdgeProbabilities(pstar, g)
+		if p2 <= p1 {
+			continue
+		}
+		m, d := minClusterAt(cfg, p1, p2)
+		if m > 0 && (best.M < 0 || m < best.M) {
+			best.M, best.D, best.PStar, best.P1, best.P2 = m, d, pstar, p1, p2
+		}
+	}
+	return best, nil
+}
+
+// minClusterAt finds the smallest m for fixed (p1, p2), or -1.
+func minClusterAt(cfg ClusterSearchConfig, p1, p2 float64) (m, d int) {
+	n := float64(cfg.Model.withDefaults().N)
+	logTypeI := math.Log(cfg.TypeI)
+	for m = 2; m <= cfg.MaxM; m++ {
+		pairs := m * (m - 1) / 2
+		logCnm := stats.LogChoose(n, float64(m))
+		// Smallest d with C(n,m)·P[Binomial(pairs,p1) > d] ≤ TypeI; the
+		// survival is monotone decreasing in d, so binary search in log
+		// space (the products routinely reach e^{-800}).
+		ok := func(d int) bool {
+			return logCnm+stats.BinomLogSurvival(d, pairs, p1) <= logTypeI
+		}
+		if !ok(pairs) { // even an impossible edge count cannot control type I
+			continue
+		}
+		lo, hi := -1, pairs
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if ok(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if stats.BinomSurvival(hi, pairs, p2) >= cfg.Power {
+			return m, hi
+		}
+	}
+	return -1, 0
+}
+
+// NaturalClusterProbability evaluates equation (2) directly: the bound on
+// the probability that some m-vertex subgraph of the null graph has more
+// than d edges. Exposed for tests and the experiment harness.
+func NaturalClusterProbability(model Model, m, d int, p1 float64) float64 {
+	n := float64(model.withDefaults().N)
+	lg := stats.LogChoose(n, float64(m)) + stats.BinomLogSurvival(d, m*(m-1)/2, p1)
+	return math.Exp(lg)
+}
+
+// ValidateBound sanity-checks a ClusterBound against its defining
+// inequalities; used by tests and by callers that tweak bounds manually.
+func ValidateBound(cfg ClusterSearchConfig, b ClusterBound) error {
+	cfg = cfg.withDefaults()
+	if b.M <= 1 {
+		return fmt.Errorf("unaligned: bound has m=%d", b.M)
+	}
+	if p := NaturalClusterProbability(cfg.Model, b.M, b.D, b.P1); p > cfg.TypeI*1.0000001 {
+		return fmt.Errorf("unaligned: type-I %v exceeds %v", p, cfg.TypeI)
+	}
+	if pw := stats.BinomSurvival(b.D, b.M*(b.M-1)/2, b.P2); pw < cfg.Power {
+		return fmt.Errorf("unaligned: power %v below %v", pw, cfg.Power)
+	}
+	return nil
+}
