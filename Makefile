@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification tier: vet plus the race-enabled test run. The transport
+# and center packages spin up real TCP servers and concurrent ingest, so the
+# race detector is part of the acceptance bar, not an optional extra.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,15 +1,19 @@
 // Command dcsd runs the DCS analysis center as a TCP daemon: it accepts
-// digests from dcsnode collectors and, at the end of each window, runs the
-// appropriate analysis (aligned ASID detection, unaligned ER test + core
-// finding, or both) over everything received.
+// digests from dcsnode collectors, files them by the epoch stamped on each
+// digest, and analyzes every epoch exactly once — when a newer epoch shows
+// the collectors have moved on, or when the epoch has been idle for a full
+// window tick.
 //
-//	dcsd -listen 127.0.0.1:7460 -window 2s
+//	dcsd -listen 127.0.0.1:7460 -window 2s -stats
 //
 // The daemon infers the case from the digest types it receives; mixing both
-// in one window is allowed and each case is analyzed independently.
+// in one epoch is allowed and each case is analyzed independently. -stats
+// logs the transport and ingest counters (frames, bad frames, late/dup/
+// dropped digests, reaped connections) every window tick.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -24,43 +28,75 @@ import (
 	"dcstream/internal/transport"
 )
 
-func analyze(c *center.Center) {
-	rep, err := c.Analyze()
-	if err != nil {
-		log.Printf("analysis: %v", err)
-		return
-	}
+func report(rep center.WindowReport) {
 	if rep.Aligned != nil {
 		a := rep.Aligned
 		if a.Detection.Found {
-			log.Printf("ALIGNED PATTERN: %d routers share %d common packets (core %d): routers %v",
-				len(a.RouterIDs), len(a.Detection.Cols), len(a.Detection.CoreCols), a.RouterIDs)
+			log.Printf("epoch %d ALIGNED PATTERN: %d routers share %d common packets (core %d): routers %v",
+				rep.Epoch, len(a.RouterIDs), len(a.Detection.Cols), len(a.Detection.CoreCols), a.RouterIDs)
 		} else {
-			log.Printf("aligned: no pattern across %d routers", a.Routers)
+			log.Printf("epoch %d aligned: no pattern across %d routers", rep.Epoch, a.Routers)
 		}
 	}
 	if rep.Unaligned != nil {
 		u := rep.Unaligned
 		if u.ER.PatternDetected {
-			log.Printf("UNALIGNED PATTERN: largest component %d >= %d over %d vertices; %d vertices at routers %v implicated",
-				u.ER.LargestComponent, u.ER.Threshold, u.Vertices, len(u.PatternVertices), u.Routers)
+			log.Printf("epoch %d UNALIGNED PATTERN: largest component %d >= %d over %d vertices; %d vertices at routers %v implicated",
+				rep.Epoch, u.ER.LargestComponent, u.ER.Threshold, u.Vertices, len(u.PatternVertices), u.Routers)
 		} else {
-			log.Printf("unaligned: no pattern (largest component %d < %d over %d vertices)",
-				u.ER.LargestComponent, u.ER.Threshold, u.Vertices)
+			log.Printf("epoch %d unaligned: no pattern (largest component %d < %d over %d vertices)",
+				rep.Epoch, u.ER.LargestComponent, u.ER.Threshold, u.Vertices)
 		}
 	}
+	if rep.Aligned == nil && rep.Unaligned == nil {
+		log.Printf("epoch %d: fewer than two routers reported, nothing to correlate", rep.Epoch)
+	}
+}
+
+func analyzeEpoch(c *center.Center, epoch int) {
+	rep, err := c.Analyze(epoch)
+	if err != nil {
+		log.Printf("epoch %d analysis: %v", epoch, err)
+		return
+	}
+	report(rep)
+}
+
+// drainComplete analyzes every epoch already superseded by a newer one.
+func drainComplete(c *center.Center) {
+	for {
+		rep, err := c.AnalyzeLatestComplete()
+		if err != nil {
+			if !errors.Is(err, center.ErrNoCompleteEpoch) {
+				log.Printf("analysis: %v", err)
+			}
+			return
+		}
+		report(rep)
+	}
+}
+
+func logStats(srv *transport.Server, c *center.Center) {
+	t, s := srv.Stats().Snapshot(), c.Stats().Snapshot()
+	log.Printf("stats: frames in=%d bad=%d; conns accepted=%d reaped=%d; digests ingested=%d late=%d dup=%d dropped=%d unknown=%d; epochs analyzed=%d evicted=%d",
+		t.FramesIn, t.BadFrames, t.ConnsAccepted, t.ConnsReaped,
+		s.DigestsIngested, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, s.UnknownMessages,
+		s.EpochsAnalyzed, s.EpochsEvicted)
 }
 
 func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7460", "address to listen on")
-		window    = flag.Duration("window", 2*time.Second, "analysis window")
+		window    = flag.Duration("window", 2*time.Second, "analysis window tick")
+		idleConn  = flag.Duration("conn-timeout", 2*time.Minute, "reap collector connections idle this long")
+		maxEpochs = flag.Int("max-epochs", 4, "epochs buffered at once (reorder window)")
 		subset    = flag.Int("subset", 512, "aligned detector subset size n'")
 		threshold = flag.Int("er-threshold", 12, "unaligned ER component threshold")
 		beta      = flag.Int("beta", 8, "unaligned core size")
 		dExp      = flag.Int("d", 2, "unaligned expansion degree threshold")
 		workers   = flag.Int("workers", runtime.NumCPU(), "correlation-pass goroutines")
-		once      = flag.Bool("once", false, "analyze one window and exit (for scripting)")
+		once      = flag.Bool("once", false, "analyze one window tick and exit (for scripting)")
+		stats     = flag.Bool("stats", false, "log transport/ingest counters every window tick")
 	)
 	flag.Parse()
 
@@ -70,16 +106,17 @@ func main() {
 		Beta:               *beta,
 		D:                  *dExp,
 		Workers:            *workers,
+		MaxEpochs:          *maxEpochs,
 	})
-	srv, err := transport.Serve(*listen, func(m transport.Message, from net.Addr) {
+	srv, err := transport.ServeConfig(*listen, func(m transport.Message, from net.Addr) {
 		c.Ingest(m)
 		switch d := m.(type) {
 		case transport.AlignedDigest:
-			log.Printf("aligned digest from router %d (%s), %d bits", d.RouterID, from, d.Bitmap.Len())
+			log.Printf("aligned digest from router %d (%s), epoch %d, %d bits", d.RouterID, from, d.Epoch, d.Bitmap.Len())
 		case transport.UnalignedDigest:
-			log.Printf("unaligned digest from router %d (%s)", d.Digest.RouterID, from)
+			log.Printf("unaligned digest from router %d (%s), epoch %d", d.Digest.RouterID, from, d.Epoch)
 		}
-	})
+	}, transport.ServerConfig{ReadTimeout: *idleConn})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,20 +124,47 @@ func main() {
 	log.Printf("dcsd analysis center listening on %s (window %v)", srv.Addr(), *window)
 	fmt.Println(srv.Addr()) // machine-readable line for scripts
 
+	drainAll := func() {
+		drainComplete(c)
+		for _, e := range c.Epochs() {
+			analyzeEpoch(c, e)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	ticker := time.NewTicker(*window)
 	defer ticker.Stop()
+	prev := map[int]int{}
 	for {
 		select {
 		case <-ticker.C:
-			analyze(c)
+			// Epochs superseded by a newer one are done by definition;
+			// the newest epoch closes once it sat out a full tick with no
+			// new digests (quiescence), preserving the old timer-window
+			// behaviour for single-epoch deployments.
+			drainComplete(c)
+			counts := c.EpochDigests()
+			for e, n := range counts {
+				if prev[e] == n {
+					analyzeEpoch(c, e)
+					delete(counts, e)
+				}
+			}
+			prev = counts
+			if *stats {
+				logStats(srv, c)
+			}
 			if *once {
+				drainAll()
 				return
 			}
 		case s := <-sig:
-			log.Printf("signal %v: analyzing final window and shutting down", s)
-			analyze(c)
+			log.Printf("signal %v: analyzing remaining epochs and shutting down", s)
+			drainAll()
+			if *stats {
+				logStats(srv, c)
+			}
 			return
 		}
 	}

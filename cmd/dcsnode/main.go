@@ -45,6 +45,7 @@ func main() {
 		segment     = flag.Int("segment", 536, "segment size in bytes")
 		epoch       = flag.Int("epoch", 1, "epoch number stamped on the digest")
 		traceFile   = flag.String("trace", "", "replay a dcstrace file instead of generating background")
+		flushWait   = flag.Duration("flush-wait", 30*time.Second, "how long to wait for buffered digests to reach the center before exiting")
 	)
 	flag.Parse()
 
@@ -81,11 +82,20 @@ func main() {
 	prefix := make([]byte, *segment)
 	crng.Read(prefix)
 
-	client, err := transport.Dial(*center, 5*time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer client.Close()
+	// A reconnecting client rides out an analysis center that is down or
+	// mid-restart: digests buffer locally and flush when the center returns.
+	client := transport.NewReconnectingClient(*center, transport.ReconnectConfig{
+		DialTimeout: 5 * time.Second,
+	})
+	defer func() {
+		if left := client.Flush(*flushWait); left > 0 {
+			log.Printf("router %d: %d digests undelivered after %v", *routerID, left, *flushWait)
+		}
+		if n := client.Stats().Reconnects.Load(); n > 0 {
+			log.Printf("router %d: reconnected to center %d times", *routerID, n)
+		}
+		client.Close()
+	}()
 
 	switch *mode {
 	case "aligned":

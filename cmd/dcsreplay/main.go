@@ -101,7 +101,8 @@ func main() {
 		finish()
 	}
 
-	rep, err := c.Analyze()
+	// Every ingest above stamped epoch 1; analyze exactly that window.
+	rep, err := c.Analyze(1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,14 @@
 // Distributed: the full Figure-2 architecture over real TCP sockets.
 //
 // An analysis center listens on localhost; 32 collector nodes run in their
-// own goroutines, each processing its traffic locally and shipping only the
-// per-epoch digest over the wire. The center stacks whatever arrives and
-// runs the aligned detector. (cmd/dcsd and cmd/dcsnode provide the same
-// roles as standalone binaries for multi-process runs.)
+// own goroutines, each processing two epochs of traffic locally and shipping
+// only the per-epoch digests over the wire (through a reconnecting client,
+// as a production collector would). The common content appears only in the
+// second epoch, and the collectors ship their digests in whatever order the
+// scheduler produces — the center's epoch-keyed windows still analyze each
+// epoch separately: epoch 1 stays clean, epoch 2 lights up. (cmd/dcsd and
+// cmd/dcsnode provide the same roles as standalone binaries for
+// multi-process runs.)
 //
 //	go run ./examples/distributed
 package main
@@ -17,7 +21,7 @@ import (
 	"time"
 
 	"dcstream/internal/aligned"
-	"dcstream/internal/bitvec"
+	"dcstream/internal/center"
 	"dcstream/internal/packet"
 	"dcstream/internal/stats"
 	"dcstream/internal/trafficgen"
@@ -28,26 +32,16 @@ func main() {
 	const (
 		routers  = 32
 		carriers = 12
+		epochs   = 2
 		segment  = 536
 		bits     = 1 << 15
 		hashSeed = 31337
 	)
 
-	// The analysis center: collect digests until every node reported.
-	var mu sync.Mutex
-	digests := make(map[int]*bitvec.Vector)
-	done := make(chan struct{})
+	// The analysis center: epoch-keyed windowed ingest behind a TCP sink.
+	c := center.New(center.Config{SubsetSize: 512, MaxEpochs: epochs})
 	srv, err := transport.Serve("127.0.0.1:0", func(m transport.Message, _ net.Addr) {
-		d, ok := m.(transport.AlignedDigest)
-		if !ok {
-			return
-		}
-		mu.Lock()
-		digests[d.RouterID] = d.Bitmap
-		if len(digests) == routers {
-			close(done)
-		}
-		mu.Unlock()
+		c.Ingest(m)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +49,7 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("analysis center listening on %s\n", srv.Addr())
 
-	// Shared content all carrier nodes will observe.
+	// Shared content all carrier nodes will observe — in epoch 2 only.
 	crng := stats.NewRand(11)
 	content := trafficgen.NewContent(crng, 18, segment)
 
@@ -64,64 +58,76 @@ func main() {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			col, err := aligned.NewCollector(aligned.CollectorConfig{Bits: bits, HashSeed: hashSeed})
-			if err != nil {
-				log.Printf("router %d: %v", r, err)
-				return
-			}
+			client := transport.NewReconnectingClient(srv.Addr(), transport.ReconnectConfig{})
+			defer client.Close()
 			rng := stats.NewRand(uint64(1000 + r))
-			bg, err := trafficgen.Background(rng, trafficgen.BackgroundConfig{
-				Packets: 10000, SegmentSize: segment,
-			})
-			if err != nil {
-				log.Printf("router %d: %v", r, err)
-				return
-			}
-			for _, p := range bg {
-				col.Update(p)
-			}
-			if r < carriers {
-				for _, p := range content.PlantAligned(packet.FlowLabel(r), segment) {
+			for epoch := 1; epoch <= epochs; epoch++ {
+				col, err := aligned.NewCollector(aligned.CollectorConfig{Bits: bits, HashSeed: hashSeed})
+				if err != nil {
+					log.Printf("router %d: %v", r, err)
+					return
+				}
+				bg, err := trafficgen.Background(rng, trafficgen.BackgroundConfig{
+					Packets: 10000, SegmentSize: segment,
+				})
+				if err != nil {
+					log.Printf("router %d: %v", r, err)
+					return
+				}
+				for _, p := range bg {
 					col.Update(p)
 				}
+				if epoch == epochs && r < carriers {
+					for _, p := range content.PlantAligned(packet.FlowLabel(r), segment) {
+						col.Update(p)
+					}
+				}
+				if err := client.Send(transport.AlignedDigest{
+					RouterID: r, Epoch: epoch, Bitmap: col.Digest(),
+				}); err != nil {
+					log.Printf("router %d send: %v", r, err)
+				}
 			}
-			client, err := transport.Dial(srv.Addr(), 5*time.Second)
-			if err != nil {
-				log.Printf("router %d dial: %v", r, err)
-				return
-			}
-			defer client.Close()
-			if err := client.Send(transport.AlignedDigest{
-				RouterID: r, Epoch: 1, Bitmap: col.Digest(),
-			}); err != nil {
-				log.Printf("router %d send: %v", r, err)
+			if left := client.Flush(10 * time.Second); left > 0 {
+				log.Printf("router %d: %d digests undelivered", r, left)
 			}
 		}(r)
 	}
 	wg.Wait()
 
-	select {
-	case <-done:
-	case <-time.After(10 * time.Second):
-		log.Fatal("timed out waiting for digests")
+	// Every collector flushed before returning; wait for the last frames to
+	// clear the server's handler goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if a, _ := c.Pending(); a == routers*epochs {
+			break
+		}
+		if time.Now().After(deadline) {
+			a, _ := c.Pending()
+			log.Fatalf("timed out waiting for digests (%d/%d)", a, routers*epochs)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 
-	mu.Lock()
-	vecs := make([]*bitvec.Vector, routers)
-	for r, v := range digests {
-		vecs[r] = v
+	for epoch := 1; epoch <= epochs; epoch++ {
+		rep, err := c.Analyze(epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Aligned == nil {
+			fmt.Printf("epoch %d: nothing to correlate\n", epoch)
+			continue
+		}
+		if !rep.Aligned.Detection.Found {
+			fmt.Printf("epoch %d: no common content across %d routers\n", epoch, rep.Aligned.Routers)
+			continue
+		}
+		fmt.Printf("epoch %d: common content detected across the wire: %d routers implicated: %v\n",
+			epoch, len(rep.Aligned.RouterIDs), rep.Aligned.RouterIDs)
 	}
-	mu.Unlock()
+	fmt.Printf("(ground truth: routers 0..%d carried the object, in epoch %d only)\n", carriers-1, epochs)
 
-	det, err := aligned.Detect(aligned.FromDigests(vecs), aligned.RefinedConfig(512))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !det.Found {
-		fmt.Println("no common content detected")
-		return
-	}
-	fmt.Printf("common content detected across the wire: %d routers implicated: %v\n",
-		len(det.Rows), det.Rows)
-	fmt.Printf("(ground truth: routers 0..%d carried the object)\n", carriers-1)
+	snap := c.Stats().Snapshot()
+	fmt.Printf("center counters: ingested=%d late=%d dup=%d dropped=%d\n",
+		snap.DigestsIngested, snap.LateDigests, snap.DuplicateDigests, snap.DroppedDigests)
 }

@@ -184,9 +184,10 @@ func (v *Vector) FillRandom(p float64, uniform func() float64) {
 		return
 	}
 	if p >= 1 {
-		for i := 0; i < v.n; i++ {
-			v.Set(i)
+		for i := range v.words {
+			v.words[i] = ^uint64(0)
 		}
+		v.maskTail()
 		return
 	}
 	for i := 0; i < v.n; i++ {
@@ -215,12 +216,12 @@ func (v *Vector) maskTail() {
 // String renders the vector as a 0/1 string, least index first, capped with
 // an ellipsis for long vectors (debug aid).
 func (v *Vector) String() string {
-	const cap = 128
+	const maxRender = 128
 	var sb strings.Builder
 	n := v.n
 	trunc := false
-	if n > cap {
-		n, trunc = cap, true
+	if n > maxRender {
+		n, trunc = maxRender, true
 	}
 	for i := 0; i < n; i++ {
 		if v.Test(i) {

@@ -171,6 +171,17 @@ func TestFillRandomExtremes(t *testing.T) {
 	if v.OnesCount() != 77 {
 		t.Fatalf("p=1 weight=%d want 77", v.OnesCount())
 	}
+	// The word-fill fast path must keep the tail invariant: no bits set
+	// beyond Len in the final word.
+	words := v.Words()
+	if tail := words[len(words)-1] >> (77 % 64); tail != 0 {
+		t.Fatalf("p=1 fill left tail bits %b beyond Len", tail)
+	}
+	// p above 1 takes the same fast path.
+	v.FillRandom(2.5, rng.Float64)
+	if v.OnesCount() != 77 {
+		t.Fatalf("p>1 weight=%d want 77", v.OnesCount())
+	}
 	// Refill resets previous contents.
 	v.FillRandom(0, rng.Float64)
 	if v.OnesCount() != 0 {

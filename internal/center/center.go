@@ -1,11 +1,23 @@
 // Package center implements the analysis-center role of Figure 2 as a
-// reusable library: accumulate digests for a window, then analyze whatever
-// arrived — the aligned ASID detector over stacked bitmaps, the unaligned
-// ER test plus core finder over merged array banks, or both. cmd/dcsd wraps
-// this in a TCP daemon; tests and embedders drive it directly.
+// reusable library: accumulate digests per measurement epoch, then analyze a
+// closed epoch — the aligned ASID detector over stacked bitmaps, the
+// unaligned ER test plus core finder over merged array banks, or both.
+// cmd/dcsd wraps this in a TCP daemon; tests and embedders drive it
+// directly.
+//
+// Windowing is epoch-correct: digests are keyed by the Epoch field their
+// collector stamped, never by arrival time, so a slow collector's epoch-3
+// bitmap is analyzed with the other routers' epoch-3 bitmaps even when it
+// arrives after everyone's epoch-4 digests (§V-B.1 — correlating bitmaps
+// across epochs degrades detection). A bounded ring of recent epochs absorbs
+// reordering; digests for epochs that already left the ring are counted late
+// and dropped, and duplicates (a collector resending after a reconnect) are
+// counted and resolved by policy instead of silently overwriting another
+// epoch's state.
 package center
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,7 +28,26 @@ import (
 	"dcstream/internal/unaligned"
 )
 
-// Config tunes the per-window analysis.
+// DuplicatePolicy resolves two digests from one router for one epoch.
+type DuplicatePolicy int
+
+const (
+	// DupKeepLast replaces the earlier digest — right for collectors that
+	// resend the same digest after a reconnect (the default).
+	DupKeepLast DuplicatePolicy = iota
+	// DupKeepFirst drops the later digest.
+	DupKeepFirst
+)
+
+// ErrNoWindow reports an Analyze call for an epoch the center holds no
+// digests for (never seen, already analyzed, or evicted).
+var ErrNoWindow = errors.New("center: no such epoch window")
+
+// ErrNoCompleteEpoch reports that every buffered digest belongs to the
+// newest epoch seen so far, which may still be filling.
+var ErrNoCompleteEpoch = errors.New("center: no complete epoch buffered")
+
+// Config tunes the per-window analysis and the epoch ring.
 type Config struct {
 	// SubsetSize is the aligned detector's n′. Zero means 512.
 	SubsetSize int
@@ -31,6 +62,17 @@ type Config struct {
 	Beta, D int
 	// Workers parallelizes the unaligned correlation pass; zero means 1.
 	Workers int
+	// MaxEpochs bounds how many distinct epochs are buffered at once (the
+	// reorder window). Zero means 4. When a digest opens an epoch beyond
+	// the bound, the oldest buffered epoch is evicted unanalyzed and its
+	// digests counted dropped.
+	MaxEpochs int
+	// Duplicates picks the resolution for a router resending within one
+	// epoch. The zero value is DupKeepLast.
+	Duplicates DuplicatePolicy
+	// Stats, when non-nil, receives the center's counters; several centers
+	// may share one. Nil allocates a private Stats.
+	Stats *Stats
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = 1
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 4
+	}
+	if c.Stats == nil {
+		c.Stats = new(Stats)
 	}
 	return c
 }
@@ -74,73 +122,241 @@ type UnalignedOutcome struct {
 	Routers         []int
 }
 
-// WindowReport is everything one window produced. Nil members mean that
-// digest kind did not arrive (or arrived from fewer than two routers).
+// WindowReport is everything one epoch window produced. Nil members mean
+// that digest kind did not arrive (or arrived from fewer than two routers).
 type WindowReport struct {
+	// Epoch is the measurement epoch the report covers.
+	Epoch     int
 	Aligned   *AlignedOutcome
 	Unaligned *UnalignedOutcome
 }
 
-// Center accumulates digests and analyzes on demand. Ingest is safe for
-// concurrent use (the transport server calls it from per-connection
-// goroutines); Analyze atomically swaps the window.
+// window is one epoch's accumulating state.
+type window struct {
+	aligned map[int]*bitvec.Vector
+	// unaligned keeps one digest per router (unalignedIdx maps router id to
+	// its slot) so a resent digest can be resolved by policy.
+	unaligned    []*unaligned.Digest
+	unalignedIdx map[int]int
+}
+
+func newWindow() *window {
+	return &window{aligned: make(map[int]*bitvec.Vector), unalignedIdx: make(map[int]int)}
+}
+
+func (w *window) digests() int { return len(w.aligned) + len(w.unaligned) }
+
+// Center accumulates digests keyed by epoch and analyzes closed epochs on
+// demand. Ingest is safe for concurrent use (the transport server calls it
+// from per-connection goroutines); Analyze atomically detaches one epoch's
+// window, so analysis never races later ingest.
 type Center struct {
 	cfg Config
 
-	mu        sync.Mutex
-	aligned   map[int]*bitvec.Vector
-	unaligned []*unaligned.Digest
+	mu      sync.Mutex
+	windows map[int]*window
+	// maxSeen is the newest epoch ever ingested; an epoch is "complete"
+	// once a strictly newer one has been seen (the collectors moved on).
+	maxSeen    int
+	sawAny     bool
+	floor      int // epochs <= floor are closed (analyzed or evicted)
+	floorValid bool
 }
 
 // New builds a center.
 func New(cfg Config) *Center {
-	return &Center{cfg: cfg.withDefaults(), aligned: make(map[int]*bitvec.Vector)}
+	return &Center{cfg: cfg.withDefaults(), windows: make(map[int]*window)}
 }
 
-// Ingest accepts one decoded digest message. Unknown message types are
-// ignored (forward compatibility with future digest kinds).
+// Stats returns the center's counters (the shared Stats when one was passed
+// in Config).
+func (c *Center) Stats() *Stats { return c.cfg.Stats }
+
+// Ingest accepts one decoded digest message and files it under the epoch
+// stamped on it. Unknown message types are ignored (forward compatibility
+// with future digest kinds). Digests for epochs that were already analyzed
+// or evicted are counted late and dropped.
 func (c *Center) Ingest(m transport.Message) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var epoch int
 	switch d := m.(type) {
 	case transport.AlignedDigest:
-		c.aligned[d.RouterID] = d.Bitmap
+		epoch = d.Epoch
 	case transport.UnalignedDigest:
-		c.unaligned = append(c.unaligned, d.Digest)
+		epoch = d.Epoch
+	default:
+		c.cfg.Stats.UnknownMessages.Add(1)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.windowFor(epoch)
+	if w == nil {
+		c.cfg.Stats.LateDigests.Add(1)
+		return
+	}
+	switch d := m.(type) {
+	case transport.AlignedDigest:
+		if _, dup := w.aligned[d.RouterID]; dup {
+			c.cfg.Stats.DuplicateDigests.Add(1)
+			if c.cfg.Duplicates == DupKeepFirst {
+				return
+			}
+		}
+		w.aligned[d.RouterID] = d.Bitmap
+	case transport.UnalignedDigest:
+		if i, dup := w.unalignedIdx[d.Digest.RouterID]; dup {
+			c.cfg.Stats.DuplicateDigests.Add(1)
+			if c.cfg.Duplicates == DupKeepFirst {
+				return
+			}
+			w.unaligned[i] = d.Digest
+		} else {
+			w.unalignedIdx[d.Digest.RouterID] = len(w.unaligned)
+			w.unaligned = append(w.unaligned, d.Digest)
+		}
+	}
+	c.cfg.Stats.DigestsIngested.Add(1)
+}
+
+// windowFor returns the window for epoch, opening (and possibly evicting)
+// as needed, or nil when the epoch is already closed. Caller holds c.mu.
+func (c *Center) windowFor(epoch int) *window {
+	if !c.sawAny || epoch > c.maxSeen {
+		c.maxSeen = epoch
+		c.sawAny = true
+	}
+	if w, ok := c.windows[epoch]; ok {
+		return w
+	}
+	if c.floorValid && epoch <= c.floor {
+		return nil
+	}
+	for len(c.windows) >= c.cfg.MaxEpochs {
+		oldest := 0
+		first := true
+		for e := range c.windows {
+			if first || e < oldest {
+				oldest, first = e, false
+			}
+		}
+		if oldest >= epoch {
+			// The newcomer is older than everything buffered and the ring
+			// is full: it is effectively late.
+			return nil
+		}
+		c.cfg.Stats.DroppedDigests.Add(int64(c.windows[oldest].digests()))
+		c.cfg.Stats.EpochsEvicted.Add(1)
+		delete(c.windows, oldest)
+		c.raiseFloor(oldest)
+	}
+	w := newWindow()
+	c.windows[epoch] = w
+	return w
+}
+
+// raiseFloor closes every epoch up to e. Caller holds c.mu.
+func (c *Center) raiseFloor(e int) {
+	if !c.floorValid || e > c.floor {
+		c.floor, c.floorValid = e, true
 	}
 }
 
-// Pending returns how many digests of each kind await analysis.
+// Pending returns how many digests of each kind await analysis, summed over
+// all buffered epochs.
 func (c *Center) Pending() (alignedCount, unalignedCount int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.aligned), len(c.unaligned)
+	for _, w := range c.windows {
+		alignedCount += len(w.aligned)
+		unalignedCount += len(w.unaligned)
+	}
+	return alignedCount, unalignedCount
 }
 
-// Analyze closes the current window, analyzes it, and starts a fresh one.
-func (c *Center) Analyze() (WindowReport, error) {
+// Epochs lists the buffered epochs, oldest first.
+func (c *Center) Epochs() []int {
 	c.mu.Lock()
-	alignedDigests := c.aligned
-	unalignedDigests := c.unaligned
-	c.aligned = make(map[int]*bitvec.Vector)
-	c.unaligned = nil
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.windows))
+	for e := range c.windows {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
 
-	var rep WindowReport
-	if len(alignedDigests) >= 2 {
-		out, err := c.analyzeAligned(alignedDigests)
+// EpochDigests returns the digest count buffered for each epoch — the
+// quiescence signal cmd/dcsd uses to close an idle epoch.
+func (c *Center) EpochDigests() map[int]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int, len(c.windows))
+	for e, w := range c.windows {
+		out[e] = w.digests()
+	}
+	return out
+}
+
+// Analyze closes the given epoch's window, analyzes it, and drops it; later
+// digests for this epoch count as late. ErrNoWindow when the center holds
+// nothing for the epoch.
+func (c *Center) Analyze(epoch int) (WindowReport, error) {
+	c.mu.Lock()
+	w, ok := c.windows[epoch]
+	if ok {
+		delete(c.windows, epoch)
+		c.raiseFloor(epoch)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return WindowReport{Epoch: epoch}, fmt.Errorf("%w: %d", ErrNoWindow, epoch)
+	}
+	return c.analyzeWindow(epoch, w)
+}
+
+// AnalyzeLatestComplete analyzes the newest epoch that is complete — i.e.
+// strictly older than the newest epoch any collector has reported, so no
+// well-behaved collector is still filling it. ErrNoCompleteEpoch when all
+// buffered digests belong to the newest epoch.
+func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
+	c.mu.Lock()
+	best, found := 0, false
+	for e := range c.windows {
+		if e < c.maxSeen && (!found || e > best) {
+			best, found = e, true
+		}
+	}
+	var w *window
+	if found {
+		w = c.windows[best]
+		delete(c.windows, best)
+		c.raiseFloor(best)
+	}
+	c.mu.Unlock()
+	if !found {
+		return WindowReport{}, ErrNoCompleteEpoch
+	}
+	return c.analyzeWindow(best, w)
+}
+
+func (c *Center) analyzeWindow(epoch int, w *window) (WindowReport, error) {
+	rep := WindowReport{Epoch: epoch}
+	if len(w.aligned) >= 2 {
+		out, err := c.analyzeAligned(w.aligned)
 		if err != nil {
 			return rep, err
 		}
 		rep.Aligned = out
 	}
-	if len(unalignedDigests) >= 2 {
-		out, err := c.analyzeUnaligned(unalignedDigests)
+	if len(w.unaligned) >= 2 {
+		out, err := c.analyzeUnaligned(w.unaligned)
 		if err != nil {
 			return rep, err
 		}
 		rep.Unaligned = out
 	}
+	c.cfg.Stats.EpochsAnalyzed.Add(1)
 	return rep, nil
 }
 
@@ -183,7 +399,8 @@ func (c *Center) analyzeUnaligned(digests []*unaligned.Digest) (*UnalignedOutcom
 		return nil, err
 	}
 	n := gm.NumVertices()
-	rows := len(digests[0].Rows[0])
+	// Merge guarantees a uniform array count, so k² is well-defined.
+	rows := gm.ArraysPerGroup()
 	rowPairs := rows * rows
 
 	p1 := c.cfg.TargetP1

@@ -1,6 +1,7 @@
 package center
 
 import (
+	"errors"
 	"sort"
 	"testing"
 
@@ -14,26 +15,22 @@ import (
 
 func TestCenterIgnoresSparseWindows(t *testing.T) {
 	c := New(Config{})
-	rep, err := c.Analyze()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Aligned != nil || rep.Unaligned != nil {
-		t.Fatal("empty window produced outcomes")
+	if _, err := c.Analyze(1); !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("empty center analyzed: %v", err)
 	}
 	// One digest of each kind is not analyzable either.
 	col, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 64, HashSeed: 1})
-	c.Ingest(transport.AlignedDigest{RouterID: 0, Bitmap: col.Digest()})
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: col.Digest()})
 	if a, u := c.Pending(); a != 1 || u != 0 {
 		t.Fatalf("pending %d,%d", a, u)
 	}
-	rep, err = c.Analyze()
+	rep, err := c.Analyze(1)
 	if err != nil || rep.Aligned != nil {
 		t.Fatalf("single-router window analyzed: %+v, %v", rep, err)
 	}
-	// Analyze starts a fresh window.
+	// Analyze drops the window.
 	if a, _ := c.Pending(); a != 0 {
-		t.Fatal("window not swapped")
+		t.Fatal("window not dropped")
 	}
 }
 
@@ -56,7 +53,7 @@ func TestCenterAlignedWindow(t *testing.T) {
 	for r, d := range res.Digests {
 		c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: d})
 	}
-	rep, err := c.Analyze()
+	rep, err := c.Analyze(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,9 +78,9 @@ func TestCenterRejectsMixedWidths(t *testing.T) {
 	c := New(Config{})
 	a, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 64, HashSeed: 1})
 	b, _ := aligned.NewCollector(aligned.CollectorConfig{Bits: 128, HashSeed: 1})
-	c.Ingest(transport.AlignedDigest{RouterID: 0, Bitmap: a.Digest()})
-	c.Ingest(transport.AlignedDigest{RouterID: 1, Bitmap: b.Digest()})
-	if _, err := c.Analyze(); err == nil {
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: a.Digest()})
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: b.Digest()})
+	if _, err := c.Analyze(1); err == nil {
 		t.Fatal("mixed widths accepted")
 	}
 }
@@ -115,7 +112,7 @@ func TestCenterUnalignedWindow(t *testing.T) {
 	for _, d := range res.Digests {
 		c.Ingest(transport.UnalignedDigest{Epoch: 1, Digest: d})
 	}
-	rep, err := c.Analyze()
+	rep, err := c.Analyze(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +149,7 @@ func TestCenterMixedWindow(t *testing.T) {
 		for _, p := range bg {
 			ac.Update(p)
 		}
-		c.Ingest(transport.AlignedDigest{RouterID: r, Bitmap: ac.Digest()})
+		c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: ac.Digest()})
 
 		uc, _ := unaligned.NewCollector(unaligned.CollectorConfig{
 			Groups: 2, ArraysPerGroup: 4, ArrayBits: 256,
@@ -162,9 +159,9 @@ func TestCenterMixedWindow(t *testing.T) {
 		for _, p := range bg {
 			uc.Update(p)
 		}
-		c.Ingest(transport.UnalignedDigest{Digest: uc.Digest(r)})
+		c.Ingest(transport.UnalignedDigest{Epoch: 1, Digest: uc.Digest(r)})
 	}
-	rep, err := c.Analyze()
+	rep, err := c.Analyze(1)
 	if err != nil {
 		t.Fatal(err)
 	}

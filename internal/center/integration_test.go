@@ -60,7 +60,7 @@ func TestCenterOverTCP(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	rep, err := c.Analyze()
+	rep, err := c.Analyze(1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package center
+
+import "sync/atomic"
+
+// Stats counts ingest-path events with atomic counters so per-connection
+// handler goroutines can bump them locklessly and cmd/dcsd can report them
+// live. A Stats must not be copied after first use; the zero value is ready.
+type Stats struct {
+	// DigestsIngested counts digests accepted into some epoch window
+	// (duplicates resolved by DupKeepLast count again — each acceptance
+	// mutated a window).
+	DigestsIngested atomic.Int64
+	// LateDigests counts digests dropped because their epoch was already
+	// analyzed or evicted — the collector fell behind the reorder window.
+	LateDigests atomic.Int64
+	// DuplicateDigests counts second-or-later digests from one router for
+	// one epoch, whatever the resolution policy did with them.
+	DuplicateDigests atomic.Int64
+	// DroppedDigests counts digests lost when their epoch was evicted
+	// unanalyzed to make room in the ring.
+	DroppedDigests atomic.Int64
+	// UnknownMessages counts wire messages of a kind this center does not
+	// understand (forward compatibility: ignored, not fatal).
+	UnknownMessages atomic.Int64
+	// EpochsAnalyzed and EpochsEvicted count window lifecycle endings.
+	EpochsAnalyzed atomic.Int64
+	EpochsEvicted  atomic.Int64
+}
+
+// Snapshot is a plain-int copy of Stats, safe to compare and print.
+type Snapshot struct {
+	DigestsIngested, LateDigests, DuplicateDigests int64
+	DroppedDigests, UnknownMessages                int64
+	EpochsAnalyzed, EpochsEvicted                  int64
+}
+
+// Snapshot reads every counter once (not a single atomic cut; fine for
+// monitoring).
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		DigestsIngested:  s.DigestsIngested.Load(),
+		LateDigests:      s.LateDigests.Load(),
+		DuplicateDigests: s.DuplicateDigests.Load(),
+		DroppedDigests:   s.DroppedDigests.Load(),
+		UnknownMessages:  s.UnknownMessages.Load(),
+		EpochsAnalyzed:   s.EpochsAnalyzed.Load(),
+		EpochsEvicted:    s.EpochsEvicted.Load(),
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"dcstream/internal/packet"
 	"dcstream/internal/stats"
 	"dcstream/internal/trafficgen"
+	"dcstream/internal/transport"
 	"dcstream/internal/unaligned"
 )
 
@@ -131,6 +132,51 @@ func RunAligned(sc AlignedScenario) (*AlignedResult, error) {
 	return res, nil
 }
 
+// DigestMessages stamps the result's digests with a measurement epoch for
+// the transport leg: one wire message per router, ready for Client.Send or
+// Center.Ingest.
+func (r *AlignedResult) DigestMessages(epoch int) []transport.AlignedDigest {
+	out := make([]transport.AlignedDigest, len(r.Digests))
+	for router, d := range r.Digests {
+		out[router] = transport.AlignedDigest{RouterID: router, Epoch: epoch, Bitmap: d}
+	}
+	return out
+}
+
+// EpochSpec describes one epoch of a multi-epoch aligned run: which routers
+// carry a common content this epoch and how long it is (0 = pure background
+// epoch).
+type EpochSpec struct {
+	Epoch          int
+	Carriers       []int
+	ContentPackets int
+}
+
+// RunAlignedEpochs plays the base scenario once per spec, deriving a fresh
+// traffic seed per epoch (so background differs epoch to epoch, as it would
+// on a real link) while the fleet and collector configuration stay fixed.
+// The returned map is keyed by EpochSpec.Epoch. This is the workload for
+// exercising epoch-windowed ingest: several epochs' digests from the same
+// routers, safe to interleave over one connection.
+func RunAlignedEpochs(base AlignedScenario, specs []EpochSpec) (map[int]*AlignedResult, error) {
+	out := make(map[int]*AlignedResult, len(specs))
+	for _, spec := range specs {
+		sc := base
+		sc.Seed = base.Seed ^ (uint64(spec.Epoch+1) * 0x9e3779b97f4a7c15)
+		sc.Carriers = spec.Carriers
+		sc.ContentPackets = spec.ContentPackets
+		if _, dup := out[spec.Epoch]; dup {
+			return nil, fmt.Errorf("simulate: epoch %d specified twice", spec.Epoch)
+		}
+		res, err := RunAligned(sc)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: epoch %d: %w", spec.Epoch, err)
+		}
+		out[spec.Epoch] = res
+	}
+	return out, nil
+}
+
 // UnalignedScenario describes one unaligned-case epoch across a fleet.
 type UnalignedScenario struct {
 	Seed    uint64
@@ -181,6 +227,16 @@ type UnalignedResult struct {
 	// PrefixLens records the prefix length drawn for each carrier, aligned
 	// with CarrierVertices.
 	PrefixLens []int
+}
+
+// DigestMessages stamps the result's digests with a measurement epoch for
+// the transport leg (one wire message per router).
+func (r *UnalignedResult) DigestMessages(epoch int) []transport.UnalignedDigest {
+	out := make([]transport.UnalignedDigest, len(r.Digests))
+	for router, d := range r.Digests {
+		out[router] = transport.UnalignedDigest{Epoch: epoch, Digest: d}
+	}
+	return out
 }
 
 // RunUnaligned executes the scenario.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -13,11 +14,34 @@ import (
 // connection.
 type Handler func(m Message, from net.Addr)
 
+// ServerConfig tunes the analysis-center listener. The zero value is usable.
+type ServerConfig struct {
+	// ReadTimeout is the per-frame read deadline. A collector that goes
+	// silent for longer than this is reaped so dead connections cannot
+	// accumulate at a center terminating thousands of them. Zero means
+	// 2 minutes; negative disables the deadline.
+	ReadTimeout time.Duration
+	// Stats, when non-nil, receives the server's counters. Several servers
+	// may share one Stats.
+	Stats *Stats
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.Stats == nil {
+		c.Stats = new(Stats)
+	}
+	return c
+}
+
 // Server is the analysis center's digest sink: it accepts collector
 // connections and feeds every decoded frame to the handler.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	cfg     ServerConfig
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -25,8 +49,14 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0" to pick a free port).
+// Serve starts a server on addr (e.g. "127.0.0.1:0" to pick a free port)
+// with default robustness settings.
 func Serve(addr string, handler Handler) (*Server, error) {
+	return ServeConfig(addr, handler, ServerConfig{})
+}
+
+// ServeConfig is Serve with explicit deadlines and stats.
+func ServeConfig(addr string, handler Handler, cfg ServerConfig) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("transport: nil handler")
 	}
@@ -34,7 +64,7 @@ func Serve(addr string, handler Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: handler, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -42,6 +72,10 @@ func Serve(addr string, handler Handler) (*Server, error) {
 
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns the server's counters (the shared Stats when one was passed
+// in ServerConfig).
+func (s *Server) Stats() *Stats { return s.cfg.Stats }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -58,11 +92,16 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.cfg.Stats.ConnsAccepted.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// serveConn drains one collector connection. A malformed frame (ErrBadFrame,
+// including CRC failures) or a read-deadline expiry closes only this
+// connection — the center keeps serving every other collector, and the
+// failure is visible in Stats rather than silent.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -72,10 +111,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		m, err := Read(conn)
 		if err != nil {
-			return // EOF, frame error, or connection closed
+			switch {
+			case errors.Is(err, ErrBadFrame):
+				s.cfg.Stats.BadFrames.Add(1)
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				s.cfg.Stats.ConnsReaped.Add(1)
+			}
+			return // EOF, frame error, deadline, or connection closed
 		}
+		s.cfg.Stats.FramesIn.Add(1)
 		s.handler(m, conn.RemoteAddr())
 	}
 }
@@ -98,10 +147,14 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a collector's connection to the analysis center.
+// Client is a collector's connection to the analysis center. It fails fast:
+// a write error leaves the client broken and surfaces to the caller. Use
+// ReconnectingClient for a collector that must ride out center restarts.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu           sync.Mutex
+	conn         net.Conn
+	writeTimeout time.Duration
+	stats        *Stats
 }
 
 // Dial connects to an analysis center with the given timeout (zero means
@@ -114,15 +167,35 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, writeTimeout: 10 * time.Second, stats: new(Stats)}, nil
 }
 
-// Send ships one digest message; safe for concurrent use.
+// SetWriteTimeout bounds every subsequent Send (zero or negative disables
+// the deadline; the default is 10 seconds).
+func (c *Client) SetWriteTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.writeTimeout = d
+	c.mu.Unlock()
+}
+
+// Send ships one digest message; safe for concurrent use. A stalled or dead
+// center fails the write within the write timeout instead of blocking the
+// collector forever.
 func (c *Client) Send(m Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Write(c.conn, m)
+	if c.writeTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	if err := Write(c.conn, m); err != nil {
+		return err
+	}
+	c.stats.FramesOut.Add(1)
+	return nil
 }
+
+// Stats returns the client's counters.
+func (c *Client) Stats() *Stats { return c.stats }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }

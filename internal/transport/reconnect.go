@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrBufferFull reports a ReconnectingClient whose resend buffer is at
+// capacity; the message was dropped on the collector side.
+var ErrBufferFull = errors.New("transport: reconnect buffer full")
+
+// ErrClientClosed reports a Send on a closed ReconnectingClient.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// ReconnectConfig tunes a ReconnectingClient. The zero value is usable.
+type ReconnectConfig struct {
+	// DialTimeout bounds each connection attempt. Zero means 2 seconds.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write. Zero means 10 seconds;
+	// negative disables the deadline.
+	WriteTimeout time.Duration
+	// InitialBackoff is the delay after the first failed dial; every
+	// consecutive failure doubles it up to MaxBackoff, and any success
+	// resets it. Zeros mean 50ms and 5s.
+	InitialBackoff, MaxBackoff time.Duration
+	// Buffer is the maximum number of undelivered messages held while the
+	// center is unreachable. Zero means 1024. Digests are small (KBs), so a
+	// deep buffer rides out a long center restart cheaply.
+	Buffer int
+	// Stats, when non-nil, receives the client's counters.
+	Stats *Stats
+}
+
+func (c ReconnectConfig) withDefaults() ReconnectConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.InitialBackoff == 0 {
+		c.InitialBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Buffer == 0 {
+		c.Buffer = 1024
+	}
+	if c.Stats == nil {
+		c.Stats = new(Stats)
+	}
+	return c
+}
+
+// ReconnectingClient is a collector-side client that survives analysis-center
+// restarts: Send enqueues, a background sender dials with capped exponential
+// backoff, and a message leaves the buffer only after its frame was written
+// in full — a write cut short by a dying connection is retried on the next
+// one. The protocol is one-way, so a reader goroutine watches each
+// connection for the center's FIN/RST and marks it dead immediately instead
+// of letting the next Send discover it a message too late.
+//
+// Delivery is at-least-once from the client's perspective: a frame fully
+// handed to the kernel just as the center dies can still be lost (there are
+// no application-level acks), but a center outage of any length between
+// epochs loses nothing while the buffer has room.
+type ReconnectingClient struct {
+	addr string
+	cfg  ReconnectConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+
+	closedCh chan struct{}
+	done     chan struct{}
+}
+
+// NewReconnectingClient starts a client for the given center address. It
+// never dials eagerly, so a collector may start before its center.
+func NewReconnectingClient(addr string, cfg ReconnectConfig) *ReconnectingClient {
+	c := &ReconnectingClient{
+		addr:     addr,
+		cfg:      cfg.withDefaults(),
+		closedCh: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c
+}
+
+// Stats returns the client's counters.
+func (c *ReconnectingClient) Stats() *Stats { return c.cfg.Stats }
+
+// Send enqueues one message for delivery. It never blocks on the network:
+// the only errors are a full buffer (message dropped, counted) or a closed
+// client.
+func (c *ReconnectingClient) Send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if len(c.queue) >= c.cfg.Buffer {
+		c.cfg.Stats.DroppedSends.Add(1)
+		return fmt.Errorf("%w (%d messages)", ErrBufferFull, len(c.queue))
+	}
+	c.queue = append(c.queue, m)
+	c.cond.Broadcast()
+	return nil
+}
+
+// Pending returns the number of undelivered messages.
+func (c *ReconnectingClient) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Flush blocks until every enqueued message has been written to the center
+// or the timeout elapses; it returns the number still pending.
+func (c *ReconnectingClient) Flush(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := c.Pending()
+		if n == 0 || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops the sender. Undelivered messages are dropped and counted in
+// DroppedSends; call Flush first when delivery matters.
+func (c *ReconnectingClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	dropped := len(c.queue)
+	c.queue = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.cfg.Stats.DroppedSends.Add(int64(dropped))
+	}
+	close(c.closedCh)
+	<-c.done
+	return nil
+}
+
+// head blocks until a message is available and returns it without removing
+// it; ok is false once the client is closed.
+func (c *ReconnectingClient) head() (m Message, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return nil, false
+	}
+	return c.queue[0], true
+}
+
+// pop removes the head after a successful write.
+func (c *ReconnectingClient) pop() {
+	c.mu.Lock()
+	if len(c.queue) > 0 {
+		c.queue = c.queue[1:]
+	}
+	c.mu.Unlock()
+}
+
+// sleep waits for d or until the client closes; it reports whether the
+// client is still open.
+func (c *ReconnectingClient) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+func (c *ReconnectingClient) run() {
+	defer close(c.done)
+	var conn net.Conn
+	var connDead chan struct{}
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := c.cfg.InitialBackoff
+	everConnected := false
+	headAttempted := false // head already written (possibly partially) on a dead conn?
+	for {
+		m, ok := c.head()
+		if !ok {
+			return
+		}
+		// A connection the monitor declared dead is useless even if a
+		// write into its kernel buffer would "succeed".
+		if conn != nil {
+			select {
+			case <-connDead:
+				conn.Close()
+				conn = nil
+			default:
+			}
+		}
+		if conn == nil {
+			nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+			if err != nil {
+				if !c.sleep(backoff) {
+					return
+				}
+				backoff *= 2
+				if backoff > c.cfg.MaxBackoff {
+					backoff = c.cfg.MaxBackoff
+				}
+				continue
+			}
+			conn = nc
+			connDead = make(chan struct{})
+			go monitorConn(nc, connDead)
+			if everConnected {
+				c.cfg.Stats.Reconnects.Add(1)
+			}
+			everConnected = true
+			backoff = c.cfg.InitialBackoff
+			if headAttempted {
+				c.cfg.Stats.Resends.Add(1)
+			}
+		}
+		if c.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		}
+		headAttempted = true
+		if err := Write(conn, m); err != nil {
+			conn.Close()
+			conn = nil
+			continue // head stays queued; retried on the next connection
+		}
+		headAttempted = false
+		c.cfg.Stats.FramesOut.Add(1)
+		c.pop()
+	}
+}
+
+// monitorConn watches a one-way connection for the peer closing it. The
+// center never sends data, so any read completion means the connection is
+// finished; closing dead lets the sender notice before its next write.
+func monitorConn(conn net.Conn, dead chan struct{}) {
+	var buf [1]byte
+	conn.Read(buf[:])
+	close(dead)
+}

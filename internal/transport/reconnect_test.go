@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectServer starts a server that records every aligned digest's
+// (RouterID, Epoch) pair.
+type collectServer struct {
+	mu   sync.Mutex
+	got  map[[2]int]bool
+	srv  *Server
+	addr string
+}
+
+func startCollect(t *testing.T, addr string, cfg ServerConfig) *collectServer {
+	t.Helper()
+	cs := &collectServer{got: map[[2]int]bool{}}
+	srv, err := ServeConfig(addr, func(m Message, _ net.Addr) {
+		if d, ok := m.(AlignedDigest); ok {
+			cs.mu.Lock()
+			cs.got[[2]int{d.RouterID, d.Epoch}] = true
+			cs.mu.Unlock()
+		}
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.srv, cs.addr = srv, srv.Addr()
+	return cs
+}
+
+func (cs *collectServer) count() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.got)
+}
+
+func (cs *collectServer) waitFor(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for cs.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d digests arrived", cs.count(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReconnectingClientDeliversAcrossRestart is the acceptance scenario: a
+// collector keeps sending while its center is down for a restart; every
+// digest still arrives once the center is back on the same address.
+func TestReconnectingClientDeliversAcrossRestart(t *testing.T) {
+	cs := startCollect(t, "127.0.0.1:0", ServerConfig{})
+	addr := cs.addr
+
+	client := NewReconnectingClient(addr, ReconnectConfig{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+	})
+	defer client.Close()
+
+	// Epoch 1 lands on the first server incarnation.
+	for r := 0; r < 4; r++ {
+		if err := client.Send(AlignedDigest{RouterID: r, Epoch: 1, Bitmap: randomVector(uint64(r), 256)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if left := client.Flush(5 * time.Second); left != 0 {
+		t.Fatalf("%d digests stuck before restart", left)
+	}
+	cs.waitFor(t, 4, 5*time.Second)
+
+	// Forced center restart. The pause lets the client's connection
+	// monitor observe the FIN so no epoch-2 frame is written into a dead
+	// socket.
+	if err := cs.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// Epoch 2 is sent entirely while the center is down: it buffers.
+	for r := 0; r < 4; r++ {
+		if err := client.Send(AlignedDigest{RouterID: r, Epoch: 2, Bitmap: randomVector(uint64(10 + r), 256)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := client.Flush(300 * time.Millisecond); n == 0 {
+		t.Fatal("digests claimed delivered while center was down")
+	}
+
+	// Center restarts on the same address; the buffered epoch drains.
+	cs2 := startCollect(t, addr, ServerConfig{})
+	defer cs2.srv.Close()
+	if left := client.Flush(10 * time.Second); left != 0 {
+		t.Fatalf("%d digests undelivered after restart", left)
+	}
+	cs2.waitFor(t, 4, 5*time.Second)
+	for r := 0; r < 4; r++ {
+		cs2.mu.Lock()
+		ok := cs2.got[[2]int{r, 2}]
+		cs2.mu.Unlock()
+		if !ok {
+			t.Fatalf("router %d epoch 2 digest lost across restart", r)
+		}
+	}
+	if n := client.Stats().Reconnects.Load(); n < 1 {
+		t.Fatalf("reconnect counter %d, want >= 1", n)
+	}
+}
+
+func TestReconnectingClientBufferFull(t *testing.T) {
+	// No server listening: everything buffers until the cap.
+	client := NewReconnectingClient("127.0.0.1:1", ReconnectConfig{
+		Buffer:         2,
+		DialTimeout:    50 * time.Millisecond,
+		InitialBackoff: 10 * time.Millisecond,
+	})
+	defer client.Close()
+	var fullErr error
+	for i := 0; i < 10 && fullErr == nil; i++ {
+		fullErr = client.Send(AlignedDigest{RouterID: i, Epoch: 1, Bitmap: randomVector(1, 64)})
+	}
+	if !errors.Is(fullErr, ErrBufferFull) {
+		t.Fatalf("want ErrBufferFull, got %v", fullErr)
+	}
+	if n := client.Stats().DroppedSends.Load(); n < 1 {
+		t.Fatalf("dropped counter %d", n)
+	}
+}
+
+func TestReconnectingClientClose(t *testing.T) {
+	client := NewReconnectingClient("127.0.0.1:1", ReconnectConfig{
+		DialTimeout:    50 * time.Millisecond,
+		InitialBackoff: 10 * time.Millisecond,
+	})
+	client.Send(AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: randomVector(1, 64)})
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(1, 64)}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("send on closed client: %v", err)
+	}
+	if n := client.Stats().DroppedSends.Load(); n != 1 {
+		t.Fatalf("pending message not counted dropped: %d", n)
+	}
+	// Close is idempotent.
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerReapsIdleConnections: a collector that dials and goes silent is
+// disconnected by the read deadline instead of holding a goroutine forever.
+func TestServerReapsIdleConnections(t *testing.T) {
+	srv, err := ServeConfig("127.0.0.1:0", func(Message, net.Addr) {},
+		ServerConfig{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server should close us; a blocking read observes it.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Fatal("server never closed the idle connection")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().ConnsReaped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reap not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBadFrameClosesOnlyOffender: one collector sends garbage mid-stream;
+// its connection dies and is counted, while another collector's digests
+// keep flowing on the same server.
+func TestBadFrameClosesOnlyOffender(t *testing.T) {
+	cs := startCollect(t, "127.0.0.1:0", ServerConfig{})
+	defer cs.srv.Close()
+
+	good, err := Dial(cs.addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Send(AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: randomVector(1, 256)}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad, err := net.Dial("tcp", cs.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	// A valid frame, then garbage: the server must take the first frame
+	// and kill the connection on the second.
+	if err := Write(bad, AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(2, 256)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Write([]byte("this is not a DCS1 frame........")); err != nil {
+		t.Fatal(err)
+	}
+	// Server closes the offender; observe the FIN.
+	bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := bad.Read(one[:]); err == nil {
+		t.Fatal("server kept the corrupted connection open")
+	}
+	if n := cs.srv.Stats().BadFrames.Load(); n != 1 {
+		t.Fatalf("bad frame counter %d, want 1", n)
+	}
+
+	// The good collector is unaffected.
+	if err := good.Send(AlignedDigest{RouterID: 2, Epoch: 1, Bitmap: randomVector(3, 256)}); err != nil {
+		t.Fatalf("good connection broken by someone else's bad frame: %v", err)
+	}
+	cs.waitFor(t, 3, 5*time.Second)
+	if n := cs.srv.Stats().FramesIn.Load(); n != 3 {
+		t.Fatalf("frames in = %d, want 3", n)
+	}
+}

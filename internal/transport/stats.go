@@ -1,0 +1,55 @@
+package transport
+
+import "sync/atomic"
+
+// Stats counts transport-level events with atomic counters so the server's
+// per-connection goroutines and a ReconnectingClient's sender can bump them
+// without locks, and cmd/dcsd can snapshot them while traffic flows.
+//
+// A Stats value must not be copied after first use. The zero value is ready.
+type Stats struct {
+	// FramesIn counts frames decoded successfully (server side).
+	FramesIn atomic.Int64
+	// FramesOut counts frames written successfully (client side).
+	FramesOut atomic.Int64
+	// BadFrames counts frames rejected as malformed or checksum-failed
+	// (ErrBadFrame); each one costs the offending connection its life but
+	// leaves every other collector connected.
+	BadFrames atomic.Int64
+	// ConnsAccepted counts collector connections accepted.
+	ConnsAccepted atomic.Int64
+	// ConnsReaped counts connections closed by the server's read deadline
+	// (dead or stalled collectors).
+	ConnsReaped atomic.Int64
+	// Reconnects counts successful re-dials by ReconnectingClient after the
+	// initial connection (0 while the first dial is still pending).
+	Reconnects atomic.Int64
+	// Resends counts frames that had to be written again on a fresh
+	// connection after a mid-write failure.
+	Resends atomic.Int64
+	// DroppedSends counts messages refused by a full ReconnectingClient
+	// buffer — digests lost on the collector side, never sent.
+	DroppedSends atomic.Int64
+}
+
+// Snapshot is a plain-int copy of Stats, safe to compare and print.
+type Snapshot struct {
+	FramesIn, FramesOut, BadFrames    int64
+	ConnsAccepted, ConnsReaped        int64
+	Reconnects, Resends, DroppedSends int64
+}
+
+// Snapshot reads every counter once. Counters advance independently, so the
+// snapshot is not a single atomic cut — fine for monitoring.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		FramesIn:      s.FramesIn.Load(),
+		FramesOut:     s.FramesOut.Load(),
+		BadFrames:     s.BadFrames.Load(),
+		ConnsAccepted: s.ConnsAccepted.Load(),
+		ConnsReaped:   s.ConnsReaped.Load(),
+		Reconnects:    s.Reconnects.Load(),
+		Resends:       s.Resends.Load(),
+		DroppedSends:  s.DroppedSends.Load(),
+	}
+}

@@ -129,7 +129,10 @@ func TestTailBitsRejectedEvenWithValidChecksum(t *testing.T) {
 	// A peer that *deliberately* sends tail garbage with a matching
 	// checksum must still be rejected by the vector decoder.
 	dg := AlignedDigest{RouterID: 1, Bitmap: bitvec.New(4)}
-	payload := encodeAligned(dg)
+	payload, err := encodeAligned(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	payload[len(payload)-1] = 0xf0
 	var buf bytes.Buffer
 	hdr := make([]byte, headerLen)

@@ -64,19 +64,25 @@ type UnalignedDigest struct {
 
 func (UnalignedDigest) isMessage() {}
 
-// Write encodes a message as one frame on w.
+// Write encodes a message as one frame on w. Malformed digests (nil
+// bitmaps, ragged unaligned geometry) are rejected before any bytes hit the
+// wire — a half-written frame would desynchronize the whole stream.
 func Write(w io.Writer, m Message) error {
 	var kind byte
 	var payload []byte
+	var err error
 	switch d := m.(type) {
 	case AlignedDigest:
 		kind = typeAligned
-		payload = encodeAligned(d)
+		payload, err = encodeAligned(d)
 	case UnalignedDigest:
 		kind = typeUnaligned
-		payload = encodeUnaligned(d)
+		payload, err = encodeUnaligned(d)
 	default:
 		return fmt.Errorf("transport: unknown message type %T", m)
+	}
+	if err != nil {
+		return err
 	}
 	hdr := make([]byte, headerLen)
 	binary.LittleEndian.PutUint32(hdr[0:], magic)
@@ -166,11 +172,14 @@ func getVector(buf []byte) (*bitvec.Vector, []byte, error) {
 	return v, buf, nil
 }
 
-func encodeAligned(d AlignedDigest) []byte {
+func encodeAligned(d AlignedDigest) ([]byte, error) {
+	if d.Bitmap == nil {
+		return nil, fmt.Errorf("transport: aligned digest for router %d has nil bitmap", d.RouterID)
+	}
 	buf := make([]byte, 8, 12+len(d.Bitmap.Words())*8)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(d.RouterID))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(d.Epoch))
-	return putVector(buf, d.Bitmap)
+	return putVector(buf, d.Bitmap), nil
 }
 
 func decodeAligned(buf []byte) (Message, error) {
@@ -192,22 +201,41 @@ func decodeAligned(buf []byte) (Message, error) {
 	return d, nil
 }
 
-func encodeUnaligned(d UnalignedDigest) []byte {
-	buf := make([]byte, 16)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(d.Digest.RouterID))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(d.Epoch))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(len(d.Digest.Rows)))
+func encodeUnaligned(d UnalignedDigest) ([]byte, error) {
+	if d.Digest == nil {
+		return nil, fmt.Errorf("transport: unaligned digest message has nil digest")
+	}
+	// The frame header states one array count for the whole digest, so a
+	// ragged Rows slice would serialize more (or fewer) vectors than the
+	// decoder reads and misparse every later byte. Validate rectangular
+	// geometry up front.
 	arrays := 0
 	if len(d.Digest.Rows) > 0 {
 		arrays = len(d.Digest.Rows[0])
 	}
+	for g, group := range d.Digest.Rows {
+		if len(group) != arrays {
+			return nil, fmt.Errorf("transport: ragged unaligned digest from router %d: group %d has %d arrays, group 0 has %d",
+				d.Digest.RouterID, g, len(group), arrays)
+		}
+		for a, row := range group {
+			if row == nil {
+				return nil, fmt.Errorf("transport: unaligned digest from router %d: nil array (%d,%d)",
+					d.Digest.RouterID, g, a)
+			}
+		}
+	}
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(d.Digest.RouterID))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(d.Epoch))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(d.Digest.Rows)))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(arrays))
 	for _, group := range d.Digest.Rows {
 		for _, row := range group {
 			buf = putVector(buf, row)
 		}
 	}
-	return buf
+	return buf, nil
 }
 
 func decodeUnaligned(buf []byte) (Message, error) {

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/unaligned"
+)
+
+// encodeFrame renders one message to bytes for corruption experiments.
+func encodeFrame(t *testing.T, m Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func randomUnaligned(rng *rand.Rand, router, groups, arrays, bits int) *unaligned.Digest {
+	d := &unaligned.Digest{RouterID: router, Rows: make([][]*bitvec.Vector, groups)}
+	for g := range d.Rows {
+		d.Rows[g] = make([]*bitvec.Vector, arrays)
+		for a := range d.Rows[g] {
+			v := bitvec.New(bits)
+			v.FillRandomHalf(rng.Uint64)
+			d.Rows[g][a] = v
+		}
+	}
+	return d
+}
+
+// TestQuickAlignedRoundTrip drives the aligned codec with random router ids,
+// epochs, and bitmap shapes.
+func TestQuickAlignedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(router, epoch int32, bitsRaw uint16) bool {
+		bits := int(bitsRaw)%4096 + 1
+		v := bitvec.New(bits)
+		v.FillRandomHalf(rng.Uint64)
+		in := AlignedDigest{RouterID: int(router), Epoch: int(epoch), Bitmap: v}
+		m, err := Read(bytes.NewReader(encodeFrame(t, in)))
+		if err != nil {
+			return false
+		}
+		out, ok := m.(AlignedDigest)
+		return ok && out.RouterID == in.RouterID && out.Epoch == in.Epoch && bitvec.Equal(out.Bitmap, in.Bitmap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnalignedRoundTrip drives the unaligned codec with random
+// geometry (always rectangular — ragged digests are rejected at Write).
+func TestQuickUnalignedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func(router int32, epoch int32, gRaw, aRaw, bRaw uint8) bool {
+		groups, arrays, bits := int(gRaw)%5+1, int(aRaw)%5+1, (int(bRaw)%8+1)*64
+		in := UnalignedDigest{Epoch: int(epoch), Digest: randomUnaligned(rng, int(router), groups, arrays, bits)}
+		m, err := Read(bytes.NewReader(encodeFrame(t, in)))
+		if err != nil {
+			return false
+		}
+		out, ok := m.(UnalignedDigest)
+		if !ok || out.Epoch != in.Epoch || out.Digest.RouterID != in.Digest.RouterID {
+			return false
+		}
+		if len(out.Digest.Rows) != groups {
+			return false
+		}
+		for g := range in.Digest.Rows {
+			if len(out.Digest.Rows[g]) != arrays {
+				return false
+			}
+			for a := range in.Digest.Rows[g] {
+				if !bitvec.Equal(out.Digest.Rows[g][a], in.Digest.Rows[g][a]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteRejectsRaggedUnaligned is the headline wire bugfix: a digest
+// whose groups disagree on array count must fail loudly at Write instead of
+// serializing a frame that misparses on decode.
+func TestWriteRejectsRaggedUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomUnaligned(rng, 7, 3, 4, 128)
+	d.Rows[1] = d.Rows[1][:2] // ragged: group 1 has 2 arrays, others 4
+	var buf bytes.Buffer
+	if err := Write(&buf, UnalignedDigest{Epoch: 1, Digest: d}); err == nil {
+		t.Fatal("ragged digest serialized")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("ragged digest wrote %d bytes before failing", buf.Len())
+	}
+	// Nil rows are rejected too.
+	d2 := randomUnaligned(rng, 7, 2, 2, 128)
+	d2.Rows[0][1] = nil
+	if err := Write(&buf, UnalignedDigest{Digest: d2}); err == nil {
+		t.Fatal("nil array serialized")
+	}
+	// And nil digests/bitmaps.
+	if err := Write(&buf, UnalignedDigest{}); err == nil {
+		t.Fatal("nil digest serialized")
+	}
+	if err := Write(&buf, AlignedDigest{RouterID: 1}); err == nil {
+		t.Fatal("nil bitmap serialized")
+	}
+}
+
+// TestCorruptionMatrix flips, truncates, and rewrites every region of valid
+// frames and requires Read to fail cleanly (no panic, no silent success).
+func TestCorruptionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	frames := [][]byte{
+		encodeFrame(t, AlignedDigest{RouterID: 3, Epoch: 9, Bitmap: randomVector(1, 512)}),
+		encodeFrame(t, UnalignedDigest{Epoch: 2, Digest: randomUnaligned(rng, 1, 2, 3, 128)}),
+	}
+	for fi, frame := range frames {
+		// Truncations at every prefix length (header and payload).
+		for cut := 0; cut < len(frame); cut++ {
+			_, err := Read(bytes.NewReader(frame[:cut]))
+			if err == nil {
+				t.Fatalf("frame %d truncated at %d accepted", fi, cut)
+			}
+			if cut == 0 && err != io.EOF {
+				t.Fatalf("empty stream: want io.EOF, got %v", err)
+			}
+		}
+		// Single-bit flips across the whole frame. Whatever the flip hits
+		// (magic, type, length, CRC, payload), Read must reject or — only
+		// if it flipped nothing semantic — return identical bytes; with
+		// CRC-32C over the payload and a fixed magic, every flip must fail.
+		for i := 0; i < len(frame)*8; i += 7 {
+			b := append([]byte(nil), frame...)
+			b[i/8] ^= 1 << (i % 8)
+			if m, err := Read(bytes.NewReader(b)); err == nil {
+				// A flip in the length field can only "succeed" by reading
+				// beyond the buffer, which ReadFull turns into an error —
+				// so any success here is a real codec hole.
+				t.Fatalf("frame %d bit %d flipped but decoded %T", fi, i, m)
+			}
+		}
+	}
+}
+
+// TestBadGeometryRejected hand-crafts unaligned frames with implausible
+// group/array counts.
+func TestBadGeometryRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	frame := encodeFrame(t, UnalignedDigest{Epoch: 1, Digest: randomUnaligned(rng, 1, 2, 2, 64)})
+	// Payload starts at headerLen; geometry words at offsets 8 and 12.
+	for _, mutate := range []func(p []byte){
+		func(p []byte) { p[8], p[9], p[10], p[11] = 0xff, 0xff, 0xff, 0x0f },  // absurd group count
+		func(p []byte) { p[12], p[13], p[14], p[15] = 0xff, 0xff, 0xff, 0x0f }, // absurd array count
+		func(p []byte) { p[8] = 200 },                                          // more groups than vectors present
+	} {
+		b := append([]byte(nil), frame...)
+		payload := b[headerLen:]
+		mutate(payload)
+		rewriteChecksum(b)
+		if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("bad geometry: %v", err)
+		}
+	}
+}
+
+// rewriteChecksum fixes up a frame's CRC after deliberate payload edits so
+// the test exercises the decoder, not the checksum.
+func rewriteChecksum(frame []byte) {
+	crc := crc32.Checksum(frame[headerLen:], castagnoli)
+	binary.LittleEndian.PutUint32(frame[9:], crc)
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder; the engine
+// grows the corpus from the seeded valid frames. Read must never panic or
+// allocate unboundedly, only return a message or an error.
+func FuzzReadFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(29))
+	var buf bytes.Buffer
+	Write(&buf, AlignedDigest{RouterID: 2, Epoch: 5, Bitmap: randomVector(3, 256)})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, UnalignedDigest{Epoch: 1, Digest: randomUnaligned(rng, 4, 2, 3, 128)})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{'D', 'C', 'S', '1', 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			m, err := Read(r)
+			if err != nil {
+				return
+			}
+			// Decoded messages must re-encode cleanly: decode output always
+			// satisfies the invariants Write checks.
+			if err := Write(io.Discard, m); err != nil {
+				t.Fatalf("decoded message fails re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -20,24 +20,36 @@ type Vertex struct {
 // vertically (§IV-B): a list of vertices, each owning ArraysPerGroup rows of
 // ArrayBits bits.
 type GroupMatrix struct {
-	arrayBits int
-	vertices  []Vertex
-	rows      [][]*bitvec.Vector // rows[v][a]
-	weights   [][]int            // cached OnesCount per row
+	arrayBits      int
+	arraysPerGroup int
+	vertices       []Vertex
+	rows           [][]*bitvec.Vector // rows[v][a]
+	weights        [][]int            // cached OnesCount per row
 }
 
 // Merge stacks router digests into one GroupMatrix. All digests must share
-// array geometry.
+// array geometry: a uniform array count k across every group of every router
+// (the λ-table row-pair count k² is a single deployment-wide constant) and a
+// uniform array width. Mixed-k digests would silently skew the edge
+// probability the ER test is calibrated for, so they are an error here.
 func Merge(digests []*Digest) (*GroupMatrix, error) {
 	if len(digests) == 0 {
 		return nil, fmt.Errorf("unaligned: no digests to merge")
 	}
 	var gm GroupMatrix
 	gm.arrayBits = -1
+	gm.arraysPerGroup = -1
 	for _, d := range digests {
 		for g, rows := range d.Rows {
 			if len(rows) == 0 {
 				return nil, fmt.Errorf("unaligned: router %d group %d has no arrays", d.RouterID, g)
+			}
+			if gm.arraysPerGroup == -1 {
+				gm.arraysPerGroup = len(rows)
+			}
+			if len(rows) != gm.arraysPerGroup {
+				return nil, fmt.Errorf("unaligned: router %d group %d has %d arrays, want %d",
+					d.RouterID, g, len(rows), gm.arraysPerGroup)
 			}
 			w := make([]int, len(rows))
 			for a, r := range rows {
@@ -63,6 +75,9 @@ func (gm *GroupMatrix) NumVertices() int { return len(gm.vertices) }
 
 // ArrayBits returns the row width.
 func (gm *GroupMatrix) ArrayBits() int { return gm.arrayBits }
+
+// ArraysPerGroup returns k, the uniform per-vertex row count Merge enforced.
+func (gm *GroupMatrix) ArraysPerGroup() int { return gm.arraysPerGroup }
 
 // Vertex returns the identity of vertex v.
 func (gm *GroupMatrix) Vertex(v int) Vertex { return gm.vertices[v] }

@@ -75,6 +75,28 @@ func TestMergeValidation(t *testing.T) {
 	if _, err := Merge([]*Digest{d}); err == nil {
 		t.Fatal("inconsistent widths accepted")
 	}
+	// Mixed array counts (different k) would skew the λ-table row-pair
+	// count the ER test is calibrated for; Merge must reject them whether
+	// the raggedness is within one router or across routers.
+	ragged := &Digest{RouterID: 1, Rows: [][]*bitvec.Vector{
+		{bitvec.New(64), bitvec.New(64)},
+		{bitvec.New(64)}, // group 1 has k=1, group 0 has k=2
+	}}
+	if _, err := Merge([]*Digest{ragged}); err == nil {
+		t.Fatal("mixed array counts within one digest accepted")
+	}
+	uniform2 := &Digest{RouterID: 2, Rows: [][]*bitvec.Vector{{bitvec.New(64), bitvec.New(64)}}}
+	uniform3 := &Digest{RouterID: 3, Rows: [][]*bitvec.Vector{{bitvec.New(64), bitvec.New(64), bitvec.New(64)}}}
+	if _, err := Merge([]*Digest{uniform2, uniform3}); err == nil {
+		t.Fatal("mixed-k digests across routers accepted")
+	}
+	gm, err := Merge([]*Digest{uniform2, uniform2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.ArraysPerGroup() != 2 {
+		t.Fatalf("ArraysPerGroup=%d, want 2", gm.ArraysPerGroup())
+	}
 }
 
 func TestMergeVertices(t *testing.T) {
