@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify bench chaos fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,21 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Fault-injection tier: the chaos-proxy integration tests (crash recovery
+# through a corrupting link, quorum under partition, eventual delivery and
+# CRC integrity) plus the journal and duplicate/eviction corners. All chaos
+# schedules are seeded in the tests themselves, so the run is reproducible.
+chaos:
+	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep' \
+		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/...
+
+# Short fuzz of the two crash/byte-level decoders: the transport wire reader
+# and the journal recovery scanner. Native Go fuzzing only supports one
+# target per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzSegmentScan -fuzztime $(FUZZTIME) ./internal/journal
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,21 @@
 // in one epoch is allowed and each case is analyzed independently. -stats
 // logs the transport and ingest counters (frames, bad frames, late/dup/
 // dropped digests, reaped connections) every window tick.
+//
+// With -journal <dir> every ingested digest is appended to a crash-safe
+// write-ahead log before analysis; after a crash (kill -9, OOM, panic) a
+// restart with the same -journal replays every un-analyzed epoch into the
+// center, so buffered windows survive the process. Epochs are marked in the
+// journal as they are analyzed and their segments deleted once fully
+// covered, bounding disk use to the in-flight windows.
+//
+// With -min-routers N the quiescence close is quorum-gated: an epoch that
+// fewer than N routers have reported into is held open while known-live
+// routers are still missing, up to -max-wait epochs (and at most -max-wait
+// extra window ticks when the fleet is not advancing). An epoch analyzed
+// below quorum is logged with a DEGRADED marker naming the missing routers,
+// and the unaligned component threshold is rescaled for the observed router
+// count.
 package main
 
 import (
@@ -25,10 +40,14 @@ import (
 	"time"
 
 	"dcstream/internal/center"
+	"dcstream/internal/journal"
 	"dcstream/internal/transport"
 )
 
 func report(rep center.WindowReport) {
+	if rep.Degraded {
+		log.Printf("epoch %d DEGRADED: analyzed below quorum, missing routers %v", rep.Epoch, rep.MissingRouters)
+	}
 	if rep.Aligned != nil {
 		a := rep.Aligned
 		if a.Detection.Found {
@@ -53,17 +72,29 @@ func report(rep center.WindowReport) {
 	}
 }
 
-func analyzeEpoch(c *center.Center, epoch int) {
+// finish reports one analyzed window and, when journaling, marks its epoch
+// analyzed so the journal can rotate and purge its frames.
+func finish(jr *journal.Journal, rep center.WindowReport) {
+	report(rep)
+	if jr != nil {
+		if err := jr.EpochAnalyzed(rep.Epoch); err != nil {
+			log.Printf("journal: marking epoch %d analyzed: %v", rep.Epoch, err)
+		}
+	}
+}
+
+func analyzeEpoch(c *center.Center, jr *journal.Journal, epoch int) {
 	rep, err := c.Analyze(epoch)
 	if err != nil {
 		log.Printf("epoch %d analysis: %v", epoch, err)
 		return
 	}
-	report(rep)
+	finish(jr, rep)
 }
 
-// drainComplete analyzes every epoch already superseded by a newer one.
-func drainComplete(c *center.Center) {
+// drainComplete analyzes every epoch already superseded by a newer one (and
+// not held open by the quorum gate).
+func drainComplete(c *center.Center, jr *journal.Journal) {
 	for {
 		rep, err := c.AnalyzeLatestComplete()
 		if err != nil {
@@ -72,31 +103,35 @@ func drainComplete(c *center.Center) {
 			}
 			return
 		}
-		report(rep)
+		finish(jr, rep)
 	}
 }
 
 func logStats(srv *transport.Server, c *center.Center) {
 	t, s := srv.Stats().Snapshot(), c.Stats().Snapshot()
-	log.Printf("stats: frames in=%d bad=%d; conns accepted=%d reaped=%d; digests ingested=%d late=%d dup=%d dropped=%d unknown=%d; epochs analyzed=%d evicted=%d",
+	log.Printf("stats: frames in=%d bad=%d; conns accepted=%d reaped=%d; digests ingested=%d late=%d dup=%d dropped=%d unknown=%d; epochs analyzed=%d degraded=%d evicted=%d",
 		t.FramesIn, t.BadFrames, t.ConnsAccepted, t.ConnsReaped,
 		s.DigestsIngested, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, s.UnknownMessages,
-		s.EpochsAnalyzed, s.EpochsEvicted)
+		s.EpochsAnalyzed, s.DegradedEpochs, s.EpochsEvicted)
 }
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7460", "address to listen on")
-		window    = flag.Duration("window", 2*time.Second, "analysis window tick")
-		idleConn  = flag.Duration("conn-timeout", 2*time.Minute, "reap collector connections idle this long")
-		maxEpochs = flag.Int("max-epochs", 4, "epochs buffered at once (reorder window)")
-		subset    = flag.Int("subset", 512, "aligned detector subset size n'")
-		threshold = flag.Int("er-threshold", 12, "unaligned ER component threshold")
-		beta      = flag.Int("beta", 8, "unaligned core size")
-		dExp      = flag.Int("d", 2, "unaligned expansion degree threshold")
-		workers   = flag.Int("workers", runtime.NumCPU(), "correlation-pass goroutines")
-		once      = flag.Bool("once", false, "analyze one window tick and exit (for scripting)")
-		stats     = flag.Bool("stats", false, "log transport/ingest counters every window tick")
+		listen      = flag.String("listen", "127.0.0.1:7460", "address to listen on")
+		window      = flag.Duration("window", 2*time.Second, "analysis window tick")
+		idleConn    = flag.Duration("conn-timeout", 2*time.Minute, "reap collector connections idle this long")
+		maxEpochs   = flag.Int("max-epochs", 4, "epochs buffered at once (reorder window)")
+		subset      = flag.Int("subset", 512, "aligned detector subset size n'")
+		threshold   = flag.Int("er-threshold", 12, "unaligned ER component threshold")
+		beta        = flag.Int("beta", 8, "unaligned core size")
+		dExp        = flag.Int("d", 2, "unaligned expansion degree threshold")
+		workers     = flag.Int("workers", runtime.NumCPU(), "correlation-pass goroutines")
+		once        = flag.Bool("once", false, "analyze one window tick and exit (for scripting)")
+		stats       = flag.Bool("stats", false, "log transport/ingest counters every window tick")
+		journalDir  = flag.String("journal", "", "directory for the crash-safe digest journal (empty = no journal)")
+		journalSync = flag.Bool("journal-sync", true, "fsync the journal after every append (crash-safe but slower)")
+		minRouters  = flag.Int("min-routers", 0, "quorum: hold an epoch open until this many routers reported (0 = off)")
+		maxWait     = flag.Int("max-wait", 2, "epochs (and idle ticks) a below-quorum window may be held open")
 	)
 	flag.Parse()
 
@@ -107,8 +142,40 @@ func main() {
 		D:                  *dExp,
 		Workers:            *workers,
 		MaxEpochs:          *maxEpochs,
+		MinRouters:         *minRouters,
+		MaxWait:            *maxWait,
 	})
+
+	var jr *journal.Journal
+	if *journalDir != "" {
+		var err error
+		jr, err = journal.Open(*journalDir, journal.Options{SyncEveryAppend: *journalSync})
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		defer jr.Close()
+		// Recover before listening: replayed digests must not interleave
+		// with live ones from collectors that reconnect immediately.
+		if err := jr.Replay(func(m transport.Message) error {
+			c.Ingest(m)
+			return nil
+		}); err != nil {
+			log.Fatalf("journal replay: %v", err)
+		}
+		if s := jr.Stats(); s.FramesReplayed > 0 || s.TailsTruncated > 0 {
+			log.Printf("journal: recovered %d digests (%d already-analyzed skipped, %d torn tails truncated) from %s",
+				s.FramesReplayed, s.FramesSkipped, s.TailsTruncated, *journalDir)
+		}
+	}
+
 	srv, err := transport.ServeConfig(*listen, func(m transport.Message, from net.Addr) {
+		if jr != nil {
+			if err := jr.Append(m); err != nil {
+				// The digest still reaches the in-memory window; only its
+				// crash durability is lost.
+				log.Printf("journal append: %v", err)
+			}
+		}
 		c.Ingest(m)
 		switch d := m.(type) {
 		case transport.AlignedDigest:
@@ -125,9 +192,9 @@ func main() {
 	fmt.Println(srv.Addr()) // machine-readable line for scripts
 
 	drainAll := func() {
-		drainComplete(c)
+		drainComplete(c, jr)
 		for _, e := range c.Epochs() {
-			analyzeEpoch(c, e)
+			analyzeEpoch(c, jr, e)
 		}
 	}
 
@@ -136,20 +203,35 @@ func main() {
 	ticker := time.NewTicker(*window)
 	defer ticker.Stop()
 	prev := map[int]int{}
+	heldTicks := map[int]int{}
 	for {
 		select {
 		case <-ticker.C:
 			// Epochs superseded by a newer one are done by definition;
 			// the newest epoch closes once it sat out a full tick with no
 			// new digests (quiescence), preserving the old timer-window
-			// behaviour for single-epoch deployments.
-			drainComplete(c)
+			// behaviour for single-epoch deployments. The quorum gate can
+			// veto a quiescence close for up to -max-wait ticks — a fleet
+			// that stopped advancing epochs would otherwise never satisfy
+			// the gate's own epoch-based bound.
+			drainComplete(c, jr)
 			counts := c.EpochDigests()
 			for e, n := range counts {
-				if prev[e] == n {
-					analyzeEpoch(c, e)
-					delete(counts, e)
+				if prev[e] != n {
+					continue
 				}
+				if q := c.Quorum(e); q.Hold {
+					heldTicks[e]++
+					if heldTicks[e] <= *maxWait {
+						log.Printf("epoch %d held below quorum (%d reported, missing routers %v), tick %d/%d",
+							e, q.Reported, q.Missing, heldTicks[e], *maxWait)
+						continue
+					}
+					log.Printf("epoch %d exhausted quorum wait; analyzing degraded", e)
+				}
+				analyzeEpoch(c, jr, e)
+				delete(counts, e)
+				delete(heldTicks, e)
 			}
 			prev = counts
 			if *stats {

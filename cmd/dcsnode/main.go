@@ -94,7 +94,9 @@ func main() {
 		if n := client.Stats().Reconnects.Load(); n > 0 {
 			log.Printf("router %d: reconnected to center %d times", *routerID, n)
 		}
-		client.Close()
+		if abandoned, _ := client.Close(); abandoned > 0 {
+			log.Printf("router %d: abandoned %d undelivered digests on close", *routerID, abandoned)
+		}
 	}()
 
 	switch *mode {

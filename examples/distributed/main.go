@@ -10,6 +10,22 @@
 // cmd/dcsnode provide the same roles as standalone binaries for
 // multi-process runs.)
 //
+// The center also journals every ingested digest, and this example makes a
+// point of crashing: after all digests arrive, the first center is dropped
+// without ever analyzing — as a kill -9 would drop it — and a second center
+// recovers both epochs purely from the journal replay. The verdicts printed
+// at the end come from the recovered center.
+//
+// The same crash-recovery works across real processes with the binaries:
+//
+//	dcsd -listen 127.0.0.1:7460 -journal /tmp/dcsd-journal &
+//	dcsnode -center 127.0.0.1:7460 -router 0 -epoch 1 -carry &
+//	...                      # more collectors, more epochs
+//	kill -9 %1               # crash the center mid-window
+//	dcsd -listen 127.0.0.1:7460 -journal /tmp/dcsd-journal
+//	# logs: "journal: recovered N digests ..." and the epochs analyze
+//	# exactly as they would have without the crash.
+//
 //	go run ./examples/distributed
 package main
 
@@ -17,11 +33,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"dcstream/internal/aligned"
 	"dcstream/internal/center"
+	"dcstream/internal/journal"
 	"dcstream/internal/packet"
 	"dcstream/internal/stats"
 	"dcstream/internal/trafficgen"
@@ -38,16 +56,29 @@ func main() {
 		hashSeed = 31337
 	)
 
-	// The analysis center: epoch-keyed windowed ingest behind a TCP sink.
+	// The analysis center: epoch-keyed windowed ingest behind a TCP sink,
+	// with every digest journaled before it reaches the in-RAM window.
+	jdir, err := os.MkdirTemp("", "dcs-journal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(jdir)
+	jr, err := journal.Open(jdir, journal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	c := center.New(center.Config{SubsetSize: 512, MaxEpochs: epochs})
 	srv, err := transport.Serve("127.0.0.1:0", func(m transport.Message, _ net.Addr) {
+		if err := jr.Append(m); err != nil {
+			log.Printf("journal append: %v", err)
+		}
 		c.Ingest(m)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("analysis center listening on %s\n", srv.Addr())
+	fmt.Printf("analysis center listening on %s (journal in %s)\n", srv.Addr(), jdir)
 
 	// Shared content all carrier nodes will observe — in epoch 2 only.
 	crng := stats.NewRand(11)
@@ -109,9 +140,37 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 
+	// Crash. The first center dies here with both epochs still buffered in
+	// RAM and nothing analyzed — everything it knew is gone. (The journal's
+	// file is deliberately not closed either; recovery must cope with the
+	// state a kill -9 leaves behind.)
+	srv.Close()
+	c = nil
+	fmt.Println("center crashed before analyzing; recovering from the journal...")
+
+	rec, err := journal.Open(jdir, journal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rec.Close()
+	recovered := center.New(center.Config{SubsetSize: 512, MaxEpochs: epochs})
+	if err := rec.Replay(func(m transport.Message) error {
+		recovered.Ingest(m)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	js := rec.Stats()
+	fmt.Printf("journal replay: %d digests recovered (%d torn tails truncated)\n",
+		js.FramesReplayed, js.TailsTruncated)
+
 	for epoch := 1; epoch <= epochs; epoch++ {
-		rep, err := c.Analyze(epoch)
+		rep, err := recovered.Analyze(epoch)
 		if err != nil {
+			log.Fatal(err)
+		}
+		// Telling the journal the epoch is done lets it purge the frames.
+		if err := rec.EpochAnalyzed(epoch); err != nil {
 			log.Fatal(err)
 		}
 		if rep.Aligned == nil {
@@ -127,7 +186,8 @@ func main() {
 	}
 	fmt.Printf("(ground truth: routers 0..%d carried the object, in epoch %d only)\n", carriers-1, epochs)
 
-	snap := c.Stats().Snapshot()
-	fmt.Printf("center counters: ingested=%d late=%d dup=%d dropped=%d\n",
-		snap.DigestsIngested, snap.LateDigests, snap.DuplicateDigests, snap.DroppedDigests)
+	snap := recovered.Stats().Snapshot()
+	fmt.Printf("recovered-center counters: ingested=%d late=%d dup=%d dropped=%d analyzed=%d\n",
+		snap.DigestsIngested, snap.LateDigests, snap.DuplicateDigests, snap.DroppedDigests,
+		snap.EpochsAnalyzed)
 }

@@ -70,6 +70,21 @@ type Config struct {
 	// Duplicates picks the resolution for a router resending within one
 	// epoch. The zero value is DupKeepLast.
 	Duplicates DuplicatePolicy
+	// MinRouters, when positive, is the quorum: AnalyzeLatestComplete and
+	// ring eviction hold an epoch open while fewer than MinRouters distinct
+	// routers have reported into it and a known-live router is still
+	// absent. An epoch closed below quorum is marked Degraded with the
+	// absentees in MissingRouters, and the unaligned component threshold is
+	// rescaled for the observed router count m′ (the aligned detector's
+	// significance bound already conditions on the observed matrix height).
+	// Zero disables quorum gating: every epoch closes exactly as before.
+	MinRouters int
+	// MaxWait bounds a quorum hold in epochs: once the fleet has advanced
+	// MaxWait epochs past a held window (maxSeen-epoch >= MaxWait) the
+	// window closes anyway, so a dead router cannot wedge the ring. It is
+	// also the liveness horizon — a router counts as live for epoch e when
+	// it has reported into epoch e-MaxWait or newer. Zero means 2.
+	MaxWait int
 	// Stats, when non-nil, receives the center's counters; several centers
 	// may share one. Nil allocates a private Stats.
 	Stats *Stats
@@ -93,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEpochs == 0 {
 		c.MaxEpochs = 4
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2
 	}
 	if c.Stats == nil {
 		c.Stats = new(Stats)
@@ -126,9 +144,15 @@ type UnalignedOutcome struct {
 // that digest kind did not arrive (or arrived from fewer than two routers).
 type WindowReport struct {
 	// Epoch is the measurement epoch the report covers.
-	Epoch     int
-	Aligned   *AlignedOutcome
-	Unaligned *UnalignedOutcome
+	Epoch int
+	// Degraded reports that the window closed below the MinRouters quorum.
+	// MissingRouters names the known-live routers that never reported into
+	// the window, sorted ascending. Both stay zero when quorum gating is
+	// off (MinRouters == 0).
+	Degraded       bool
+	MissingRouters []int
+	Aligned        *AlignedOutcome
+	Unaligned      *UnalignedOutcome
 }
 
 // window is one epoch's accumulating state.
@@ -146,6 +170,19 @@ func newWindow() *window {
 
 func (w *window) digests() int { return len(w.aligned) + len(w.unaligned) }
 
+// reporters is the set of distinct routers that reported either digest kind
+// into this window.
+func (w *window) reporters() map[int]bool {
+	out := make(map[int]bool, len(w.aligned)+len(w.unalignedIdx))
+	for id := range w.aligned {
+		out[id] = true
+	}
+	for id := range w.unalignedIdx {
+		out[id] = true
+	}
+	return out
+}
+
 // Center accumulates digests keyed by epoch and analyzes closed epochs on
 // demand. Ingest is safe for concurrent use (the transport server calls it
 // from per-connection goroutines); Analyze atomically detaches one epoch's
@@ -161,11 +198,20 @@ type Center struct {
 	sawAny     bool
 	floor      int // epochs <= floor are closed (analyzed or evicted)
 	floorValid bool
+	// lastSeen is the router registry: the newest epoch each router has
+	// ever stamped on a digest (late and duplicate digests count — the
+	// router is alive even when its data is unusable). Quorum liveness is
+	// derived from it.
+	lastSeen map[int]int
 }
 
 // New builds a center.
 func New(cfg Config) *Center {
-	return &Center{cfg: cfg.withDefaults(), windows: make(map[int]*window)}
+	return &Center{
+		cfg:      cfg.withDefaults(),
+		windows:  make(map[int]*window),
+		lastSeen: make(map[int]int),
+	}
 }
 
 // Stats returns the center's counters (the shared Stats when one was passed
@@ -177,12 +223,12 @@ func (c *Center) Stats() *Stats { return c.cfg.Stats }
 // with future digest kinds). Digests for epochs that were already analyzed
 // or evicted are counted late and dropped.
 func (c *Center) Ingest(m transport.Message) {
-	var epoch int
+	var epoch, router int
 	switch d := m.(type) {
 	case transport.AlignedDigest:
-		epoch = d.Epoch
+		epoch, router = d.Epoch, d.RouterID
 	case transport.UnalignedDigest:
-		epoch = d.Epoch
+		epoch, router = d.Epoch, d.Digest.RouterID
 	default:
 		c.cfg.Stats.UnknownMessages.Add(1)
 		return
@@ -190,6 +236,9 @@ func (c *Center) Ingest(m transport.Message) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if last, ok := c.lastSeen[router]; !ok || epoch > last {
+		c.lastSeen[router] = epoch
+	}
 	w := c.windowFor(epoch)
 	if w == nil {
 		c.cfg.Stats.LateDigests.Add(1)
@@ -233,11 +282,16 @@ func (c *Center) windowFor(epoch int) *window {
 		return nil
 	}
 	for len(c.windows) >= c.cfg.MaxEpochs {
-		oldest := 0
-		first := true
+		// Prefer evicting the oldest epoch the quorum gate is not holding
+		// open; only when every buffered epoch is held does the overall
+		// oldest go (MaxWait bounds how long that can happen).
+		oldest, victim := -1, -1
 		for e := range c.windows {
-			if first || e < oldest {
-				oldest, first = e, false
+			if oldest < 0 || e < oldest {
+				oldest = e
+			}
+			if !c.quorumLocked(e).Hold && (victim < 0 || e < victim) {
+				victim = e
 			}
 		}
 		if oldest >= epoch {
@@ -245,10 +299,17 @@ func (c *Center) windowFor(epoch int) *window {
 			// is full: it is effectively late.
 			return nil
 		}
-		c.cfg.Stats.DroppedDigests.Add(int64(c.windows[oldest].digests()))
+		if victim < 0 {
+			victim = oldest
+		}
+		c.cfg.Stats.DroppedDigests.Add(int64(c.windows[victim].digests()))
 		c.cfg.Stats.EpochsEvicted.Add(1)
-		delete(c.windows, oldest)
-		c.raiseFloor(oldest)
+		delete(c.windows, victim)
+		if victim == oldest {
+			// Only raising past the oldest keeps held mid-ring windows
+			// reachable; a floor above them would silently close them.
+			c.raiseFloor(victim)
+		}
 	}
 	w := newWindow()
 	c.windows[epoch] = w
@@ -260,6 +321,102 @@ func (c *Center) raiseFloor(e int) {
 	if !c.floorValid || e > c.floor {
 		c.floor, c.floorValid = e, true
 	}
+}
+
+// RouterStatus is one registry entry: a router and the newest epoch it has
+// stamped on any digest (late or duplicate digests count — they still prove
+// the router is alive).
+type RouterStatus struct {
+	RouterID  int
+	LastEpoch int
+}
+
+// Routers lists every router that has ever reported, sorted by id.
+func (c *Center) Routers() []RouterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RouterStatus, 0, len(c.lastSeen))
+	for id, last := range c.lastSeen {
+		out = append(out, RouterStatus{RouterID: id, LastEpoch: last})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RouterID < out[j].RouterID })
+	return out
+}
+
+// QuorumState describes how far one epoch's window is from quorum.
+type QuorumState struct {
+	// Epoch is the window asked about.
+	Epoch int
+	// Reported is how many distinct routers have reported into the window.
+	Reported int
+	// Missing names the known-live routers (reported into epoch-MaxWait or
+	// newer) absent from the window, sorted ascending.
+	Missing []int
+	// Hold is true when quiescence-driven closing and ring eviction should
+	// keep the window open: below quorum, a live router still absent, and
+	// the fleet not yet MaxWait epochs past this one.
+	Hold bool
+}
+
+// Quorum reports the quorum state of one epoch. Hold is always false when
+// quorum gating is off (MinRouters == 0) — today's behaviour.
+func (c *Center) Quorum(epoch int) QuorumState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quorumLocked(epoch)
+}
+
+// quorumLocked computes QuorumState for epoch; the window may be absent
+// (Reported 0). Caller holds c.mu.
+func (c *Center) quorumLocked(epoch int) QuorumState {
+	st := QuorumState{Epoch: epoch}
+	var reporters map[int]bool
+	if w, ok := c.windows[epoch]; ok {
+		reporters = w.reporters()
+	}
+	st.Reported = len(reporters)
+	if c.cfg.MinRouters <= 0 {
+		return st
+	}
+	horizon := epoch - c.cfg.MaxWait
+	for id, last := range c.lastSeen {
+		if last >= horizon && !reporters[id] {
+			st.Missing = append(st.Missing, id)
+		}
+	}
+	sort.Ints(st.Missing)
+	st.Hold = st.Reported < c.cfg.MinRouters && len(st.Missing) > 0 &&
+		c.maxSeen-epoch < c.cfg.MaxWait
+	return st
+}
+
+// windowMeta is the quorum context captured (under c.mu) at the moment a
+// window detaches for analysis, so the report reflects the registry as it
+// stood when the epoch closed.
+type windowMeta struct {
+	missing  []int
+	degraded bool
+	fleet    int // registered routers (observed fleet size m)
+	observed int // distinct routers in this window (m′)
+}
+
+// metaLocked computes windowMeta for a window about to close. Caller holds
+// c.mu.
+func (c *Center) metaLocked(epoch int, w *window) windowMeta {
+	rep := w.reporters()
+	m := windowMeta{fleet: len(c.lastSeen), observed: len(rep)}
+	if c.cfg.MinRouters <= 0 {
+		return m
+	}
+	horizon := epoch - c.cfg.MaxWait
+	for id, last := range c.lastSeen {
+		if last >= horizon && !rep[id] {
+			m.missing = append(m.missing, id)
+		}
+	}
+	sort.Ints(m.missing)
+	m.degraded = m.observed < c.cfg.MinRouters
+	return m
 }
 
 // Pending returns how many digests of each kind await analysis, summed over
@@ -304,7 +461,9 @@ func (c *Center) EpochDigests() map[int]int {
 func (c *Center) Analyze(epoch int) (WindowReport, error) {
 	c.mu.Lock()
 	w, ok := c.windows[epoch]
+	var meta windowMeta
 	if ok {
+		meta = c.metaLocked(epoch, w)
 		delete(c.windows, epoch)
 		c.raiseFloor(epoch)
 	}
@@ -312,24 +471,32 @@ func (c *Center) Analyze(epoch int) (WindowReport, error) {
 	if !ok {
 		return WindowReport{Epoch: epoch}, fmt.Errorf("%w: %d", ErrNoWindow, epoch)
 	}
-	return c.analyzeWindow(epoch, w)
+	return c.analyzeWindow(epoch, w, meta)
 }
 
 // AnalyzeLatestComplete analyzes the newest epoch that is complete — i.e.
 // strictly older than the newest epoch any collector has reported, so no
-// well-behaved collector is still filling it. ErrNoCompleteEpoch when all
-// buffered digests belong to the newest epoch.
+// well-behaved collector is still filling it — and, when quorum gating is
+// on, not held open waiting for known-live routers (Quorum). A held epoch
+// becomes analyzable once quorum arrives or the fleet moves MaxWait epochs
+// past it; it then closes with Degraded/MissingRouters set on the report.
+// ErrNoCompleteEpoch when every buffered epoch is newest or held.
 func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
 	c.mu.Lock()
 	best, found := 0, false
 	for e := range c.windows {
-		if e < c.maxSeen && (!found || e > best) {
+		if e >= c.maxSeen || c.quorumLocked(e).Hold {
+			continue
+		}
+		if !found || e > best {
 			best, found = e, true
 		}
 	}
 	var w *window
+	var meta windowMeta
 	if found {
 		w = c.windows[best]
+		meta = c.metaLocked(best, w)
 		delete(c.windows, best)
 		c.raiseFloor(best)
 	}
@@ -337,11 +504,11 @@ func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
 	if !found {
 		return WindowReport{}, ErrNoCompleteEpoch
 	}
-	return c.analyzeWindow(best, w)
+	return c.analyzeWindow(best, w, meta)
 }
 
-func (c *Center) analyzeWindow(epoch int, w *window) (WindowReport, error) {
-	rep := WindowReport{Epoch: epoch}
+func (c *Center) analyzeWindow(epoch int, w *window, meta windowMeta) (WindowReport, error) {
+	rep := WindowReport{Epoch: epoch, Degraded: meta.degraded, MissingRouters: meta.missing}
 	if len(w.aligned) >= 2 {
 		out, err := c.analyzeAligned(w.aligned)
 		if err != nil {
@@ -350,17 +517,24 @@ func (c *Center) analyzeWindow(epoch int, w *window) (WindowReport, error) {
 		rep.Aligned = out
 	}
 	if len(w.unaligned) >= 2 {
-		out, err := c.analyzeUnaligned(w.unaligned)
+		out, err := c.analyzeUnaligned(w.unaligned, meta)
 		if err != nil {
 			return rep, err
 		}
 		rep.Unaligned = out
 	}
 	c.cfg.Stats.EpochsAnalyzed.Add(1)
+	if meta.degraded {
+		c.cfg.Stats.DegradedEpochs.Add(1)
+	}
 	return rep, nil
 }
 
 func (c *Center) analyzeAligned(digests map[int]*bitvec.Vector) (*AlignedOutcome, error) {
+	// No m′ rescaling is needed here: aligned.Detect computes the
+	// non-natural-occurrence significance bound from the matrix it is
+	// given, so a degraded window's m′ rows already condition the verdict.
+	//
 	// Fix a deterministic row order so Detection.Rows can be translated
 	// back to router ids (map iteration order is random).
 	ids := make([]int, 0, len(digests))
@@ -393,7 +567,21 @@ func (c *Center) analyzeAligned(digests map[int]*bitvec.Vector) (*AlignedOutcome
 	return out, nil
 }
 
-func (c *Center) analyzeUnaligned(digests []*unaligned.Digest) (*UnalignedOutcome, error) {
+// scaledThreshold shrinks an ER component threshold tuned for fleet routers
+// down to the observed router count: the expected pattern component grows
+// linearly in the number of reporting routers (each carrier contributes its
+// group vertices), so a window missing routers must clear a proportionally
+// smaller bar or the partition itself would mask the pattern. Floor of 2 —
+// below that a single chance edge would fire the test.
+func scaledThreshold(configured, observed, fleet int) int {
+	t := (configured*observed + fleet - 1) / fleet
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+func (c *Center) analyzeUnaligned(digests []*unaligned.Digest, meta windowMeta) (*UnalignedOutcome, error) {
 	gm, err := unaligned.Merge(digests)
 	if err != nil {
 		return nil, err
@@ -415,9 +603,13 @@ func (c *Center) analyzeUnaligned(digests []*unaligned.Digest) (*UnalignedOutcom
 	if err != nil {
 		return nil, err
 	}
+	threshold := c.cfg.ComponentThreshold
+	if c.cfg.MinRouters > 0 && meta.fleet > 0 && len(digests) < meta.fleet {
+		threshold = scaledThreshold(threshold, len(digests), meta.fleet)
+	}
 	out := &UnalignedOutcome{
 		Vertices: n,
-		ER:       unaligned.ERTest(g, c.cfg.ComponentThreshold),
+		ER:       unaligned.ERTest(g, threshold),
 	}
 	if !out.ER.PatternDetected {
 		return out, nil

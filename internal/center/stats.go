@@ -25,13 +25,16 @@ type Stats struct {
 	// EpochsAnalyzed and EpochsEvicted count window lifecycle endings.
 	EpochsAnalyzed atomic.Int64
 	EpochsEvicted  atomic.Int64
+	// DegradedEpochs counts windows analyzed below the MinRouters quorum
+	// (a subset of EpochsAnalyzed; always 0 with quorum gating off).
+	DegradedEpochs atomic.Int64
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
 type Snapshot struct {
 	DigestsIngested, LateDigests, DuplicateDigests int64
 	DroppedDigests, UnknownMessages                int64
-	EpochsAnalyzed, EpochsEvicted                  int64
+	EpochsAnalyzed, EpochsEvicted, DegradedEpochs  int64
 }
 
 // Snapshot reads every counter once (not a single atomic cut; fine for
@@ -45,5 +48,6 @@ func (s *Stats) Snapshot() Snapshot {
 		UnknownMessages:  s.UnknownMessages.Load(),
 		EpochsAnalyzed:   s.EpochsAnalyzed.Load(),
 		EpochsEvicted:    s.EpochsEvicted.Load(),
+		DegradedEpochs:   s.DegradedEpochs.Load(),
 	}
 }

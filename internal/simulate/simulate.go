@@ -143,6 +143,25 @@ func (r *AlignedResult) DigestMessages(epoch int) []transport.AlignedDigest {
 	return out
 }
 
+// DigestMessagesExcept is DigestMessages minus the given routers — the
+// partition workload, where a cut-off router's digest never escapes its side
+// of the partition. Router order is preserved; the returned slice is no
+// longer indexable by router id.
+func (r *AlignedResult) DigestMessagesExcept(epoch int, skip ...int) []transport.AlignedDigest {
+	drop := make(map[int]bool, len(skip))
+	for _, s := range skip {
+		drop[s] = true
+	}
+	out := make([]transport.AlignedDigest, 0, len(r.Digests))
+	for router, d := range r.Digests {
+		if drop[router] {
+			continue
+		}
+		out = append(out, transport.AlignedDigest{RouterID: router, Epoch: epoch, Bitmap: d})
+	}
+	return out
+}
+
 // EpochSpec describes one epoch of a multi-epoch aligned run: which routers
 // carry a common content this epoch and how long it is (0 = pure background
 // epoch).

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/faultinject"
+)
+
+// TestChaosProxyEventualDeliveryAndIntegrity drives a ReconnectingClient
+// through a proxy that flips bits, truncates, drops, duplicates, reorders,
+// and delays. Two properties must hold at the server: (1) with sender-side
+// retries every digest eventually arrives, and (2) no digest ever arrives
+// corrupted — a flipped bit anywhere in a frame must be caught by the CRC
+// and cost the connection, never silently change a bitmap.
+func TestChaosProxyEventualDeliveryAndIntegrity(t *testing.T) {
+	const routers = 30
+
+	var mu sync.Mutex
+	first := map[int]*bitvec.Vector{} // first-seen bitmap per router
+	corrupt := 0
+	srv, err := Serve("127.0.0.1:0", func(m Message, _ net.Addr) {
+		d, ok := m.(AlignedDigest)
+		if !ok {
+			return
+		}
+		mu.Lock()
+		if prev, seen := first[d.RouterID]; seen {
+			if !bitvec.Equal(prev, d.Bitmap) {
+				corrupt++ // a corrupted frame survived the CRC
+			}
+		} else {
+			first[d.RouterID] = d.Bitmap
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	proxy, err := faultinject.New(srv.Addr(), faultinject.Config{
+		Seed:      7,
+		Drop:      0.03,
+		Duplicate: 0.05,
+		Reorder:   0.05,
+		Truncate:  0.02,
+		BitFlip:   0.03,
+		Delay:     0.2,
+		ChunkSize: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	client := NewReconnectingClient(proxy.Addr(), ReconnectConfig{
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+	})
+	defer client.Close()
+
+	// Deterministic payloads so any mutation is detectable against the
+	// sender's copy.
+	msgs := make([]AlignedDigest, routers)
+	for r := range msgs {
+		msgs[r] = AlignedDigest{RouterID: r, Epoch: 1, Bitmap: randomVector(uint64(r+1), 2048)}
+	}
+	delivered := func(r int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first[r] != nil
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		missing := 0
+		for r, m := range msgs {
+			if !delivered(r) {
+				missing++
+				client.Send(m)
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d digests never delivered through chaos", missing)
+		}
+		client.Flush(time.Second)
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if corrupt != 0 {
+		t.Fatalf("%d corrupted digests slipped past the CRC", corrupt)
+	}
+	for r, m := range msgs {
+		if !bitvec.Equal(first[r], m.Bitmap) {
+			t.Fatalf("router %d digest mutated in flight", r)
+		}
+	}
+	if n := srv.Stats().BadFrames.Load(); n == 0 {
+		t.Logf("note: chaos produced no bad frames this run (faults landed between frames)")
+	}
+}

@@ -79,6 +79,9 @@ type ReconnectingClient struct {
 
 	closedCh chan struct{}
 	done     chan struct{}
+	// wakeCh kicks the sender out of a backoff sleep early (Flush posts to
+	// it); buffered so a kick with no sleeper is remembered, not lost.
+	wakeCh chan struct{}
 }
 
 // NewReconnectingClient starts a client for the given center address. It
@@ -89,6 +92,7 @@ func NewReconnectingClient(addr string, cfg ReconnectConfig) *ReconnectingClient
 		cfg:      cfg.withDefaults(),
 		closedCh: make(chan struct{}),
 		done:     make(chan struct{}),
+		wakeCh:   make(chan struct{}, 1),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.run()
@@ -124,8 +128,11 @@ func (c *ReconnectingClient) Pending() int {
 }
 
 // Flush blocks until every enqueued message has been written to the center
-// or the timeout elapses; it returns the number still pending.
+// or the timeout elapses; it returns the number still pending. A sender
+// mid-backoff is woken immediately, so a center that just came back is
+// retried now rather than after the remaining backoff sleep.
 func (c *ReconnectingClient) Flush(timeout time.Duration) int {
+	c.kick()
 	deadline := time.Now().Add(timeout)
 	for {
 		n := c.Pending()
@@ -136,25 +143,34 @@ func (c *ReconnectingClient) Flush(timeout time.Duration) int {
 	}
 }
 
-// Close stops the sender. Undelivered messages are dropped and counted in
-// DroppedSends; call Flush first when delivery matters.
-func (c *ReconnectingClient) Close() error {
+// kick wakes a sender sleeping out a backoff; a no-op when none is.
+func (c *ReconnectingClient) kick() {
+	select {
+	case c.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the sender and reports how many enqueued messages were never
+// delivered (also counted in Stats.AbandonedOnClose); call Flush first when
+// delivery matters. Closing an already-closed client returns 0, nil.
+func (c *ReconnectingClient) Close() (abandoned int, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 	c.closed = true
-	dropped := len(c.queue)
+	abandoned = len(c.queue)
 	c.queue = nil
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	if dropped > 0 {
-		c.cfg.Stats.DroppedSends.Add(int64(dropped))
+	if abandoned > 0 {
+		c.cfg.Stats.AbandonedOnClose.Add(int64(abandoned))
 	}
 	close(c.closedCh)
 	<-c.done
-	return nil
+	return abandoned, nil
 }
 
 // head blocks until a message is available and returns it without removing
@@ -180,13 +196,15 @@ func (c *ReconnectingClient) pop() {
 	c.mu.Unlock()
 }
 
-// sleep waits for d or until the client closes; it reports whether the
-// client is still open.
+// sleep waits for d, a Flush kick, or until the client closes; it reports
+// whether the client is still open.
 func (c *ReconnectingClient) sleep(d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
+		return true
+	case <-c.wakeCh:
 		return true
 	case <-c.closedCh:
 		return false

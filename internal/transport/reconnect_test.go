@@ -85,7 +85,7 @@ func TestReconnectingClientDeliversAcrossRestart(t *testing.T) {
 
 	// Epoch 2 is sent entirely while the center is down: it buffers.
 	for r := 0; r < 4; r++ {
-		if err := client.Send(AlignedDigest{RouterID: r, Epoch: 2, Bitmap: randomVector(uint64(10 + r), 256)}); err != nil {
+		if err := client.Send(AlignedDigest{RouterID: r, Epoch: 2, Bitmap: randomVector(uint64(10+r), 256)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -139,19 +139,64 @@ func TestReconnectingClientClose(t *testing.T) {
 		InitialBackoff: 10 * time.Millisecond,
 	})
 	client.Send(AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: randomVector(1, 64)})
-	if err := client.Close(); err != nil {
+	abandoned, err := client.Close()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if abandoned != 1 {
+		t.Fatalf("Close reported %d abandoned messages, want 1", abandoned)
 	}
 	if err := client.Send(AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(1, 64)}); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("send on closed client: %v", err)
 	}
-	if n := client.Stats().DroppedSends.Load(); n != 1 {
-		t.Fatalf("pending message not counted dropped: %d", n)
+	if n := client.Stats().AbandonedOnClose.Load(); n != 1 {
+		t.Fatalf("pending message not counted abandoned: %d", n)
 	}
-	// Close is idempotent.
-	if err := client.Close(); err != nil {
+	if n := client.Stats().DroppedSends.Load(); n != 0 {
+		t.Fatalf("abandoned message leaked into DroppedSends: %d", n)
+	}
+	// Close is idempotent and reports nothing the second time.
+	if abandoned, err := client.Close(); err != nil || abandoned != 0 {
+		t.Fatalf("second Close = (%d, %v), want (0, nil)", abandoned, err)
+	}
+}
+
+// TestFlushWakesBackoffImmediately: a sender deep in a backoff sleep must
+// retry as soon as Flush is called, not after the rest of the sleep — the
+// backoff here is far longer than the Flush timeout, so delivery within it
+// proves the wake-up happened.
+func TestFlushWakesBackoffImmediately(t *testing.T) {
+	// Learn a free port, then leave it closed so the first dials fail and
+	// the backoff climbs to its 30s cap.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		t.Fatal(err)
 	}
+	addr := l.Addr().String()
+	l.Close()
+
+	client := NewReconnectingClient(addr, ReconnectConfig{
+		DialTimeout:    100 * time.Millisecond,
+		InitialBackoff: 30 * time.Second,
+		MaxBackoff:     30 * time.Second,
+	})
+	defer client.Close()
+	if err := client.Send(AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: randomVector(1, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the sender fail its dial and enter the 30s backoff.
+	time.Sleep(300 * time.Millisecond)
+
+	cs := startCollect(t, addr, ServerConfig{})
+	defer cs.srv.Close()
+	start := time.Now()
+	if left := client.Flush(5 * time.Second); left != 0 {
+		t.Fatalf("%d messages still pending after Flush with center up", left)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("flush took %v — backoff sleep was not interrupted", took)
+	}
+	cs.waitFor(t, 1, 2*time.Second)
 }
 
 // TestServerReapsIdleConnections: a collector that dials and goes silent is

@@ -30,26 +30,30 @@ type Stats struct {
 	// DroppedSends counts messages refused by a full ReconnectingClient
 	// buffer — digests lost on the collector side, never sent.
 	DroppedSends atomic.Int64
+	// AbandonedOnClose counts messages still undelivered when Close ran —
+	// the caller chose to stop before Flush emptied the buffer.
+	AbandonedOnClose atomic.Int64
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
 type Snapshot struct {
-	FramesIn, FramesOut, BadFrames    int64
-	ConnsAccepted, ConnsReaped        int64
-	Reconnects, Resends, DroppedSends int64
+	FramesIn, FramesOut, BadFrames                      int64
+	ConnsAccepted, ConnsReaped                          int64
+	Reconnects, Resends, DroppedSends, AbandonedOnClose int64
 }
 
 // Snapshot reads every counter once. Counters advance independently, so the
 // snapshot is not a single atomic cut — fine for monitoring.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		FramesIn:      s.FramesIn.Load(),
-		FramesOut:     s.FramesOut.Load(),
-		BadFrames:     s.BadFrames.Load(),
-		ConnsAccepted: s.ConnsAccepted.Load(),
-		ConnsReaped:   s.ConnsReaped.Load(),
-		Reconnects:    s.Reconnects.Load(),
-		Resends:       s.Resends.Load(),
-		DroppedSends:  s.DroppedSends.Load(),
+		FramesIn:         s.FramesIn.Load(),
+		FramesOut:        s.FramesOut.Load(),
+		BadFrames:        s.BadFrames.Load(),
+		ConnsAccepted:    s.ConnsAccepted.Load(),
+		ConnsReaped:      s.ConnsReaped.Load(),
+		Reconnects:       s.Reconnects.Load(),
+		Resends:          s.Resends.Load(),
+		DroppedSends:     s.DroppedSends.Load(),
+		AbandonedOnClose: s.AbandonedOnClose.Load(),
 	}
 }

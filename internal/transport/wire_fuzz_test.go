@@ -165,7 +165,7 @@ func TestBadGeometryRejected(t *testing.T) {
 	frame := encodeFrame(t, UnalignedDigest{Epoch: 1, Digest: randomUnaligned(rng, 1, 2, 2, 64)})
 	// Payload starts at headerLen; geometry words at offsets 8 and 12.
 	for _, mutate := range []func(p []byte){
-		func(p []byte) { p[8], p[9], p[10], p[11] = 0xff, 0xff, 0xff, 0x0f },  // absurd group count
+		func(p []byte) { p[8], p[9], p[10], p[11] = 0xff, 0xff, 0xff, 0x0f },   // absurd group count
 		func(p []byte) { p[12], p[13], p[14], p[15] = 0xff, 0xff, 0xff, 0x0f }, // absurd array count
 		func(p []byte) { p[8] = 200 },                                          // more groups than vectors present
 	} {
