@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test verify bench chaos fuzz-smoke clean
+.PHONY: build test lint verify bench chaos fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Full verification tier: vet plus the race-enabled test run. The transport
-# and center packages spin up real TCP servers and concurrent ingest, so the
-# race detector is part of the acceptance bar, not an optional extra.
+# Project-invariant static analysis: seeded RNG discipline, wall-clock bans in
+# deterministic packages, lock discipline, atomic hygiene, and write-path
+# error handling. Exits non-zero on any unsuppressed finding; see DESIGN.md
+# for the rules and the //dcslint:ignore escape hatch.
+lint:
+	$(GO) run ./cmd/dcslint ./...
+
+# Full verification tier: vet, dcslint, the race-enabled test run, and a
+# shuffled-order pass. The transport and center packages spin up real TCP
+# servers and concurrent ingest, so the race detector is part of the
+# acceptance bar, not an optional extra; the shuffle run enforces that no test
+# depends on execution order or leaked global state.
 verify:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dcslint ./...
 	$(GO) test -race ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

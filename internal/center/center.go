@@ -191,18 +191,18 @@ type Center struct {
 	cfg Config
 
 	mu      sync.Mutex
-	windows map[int]*window
+	windows map[int]*window // guarded by mu
 	// maxSeen is the newest epoch ever ingested; an epoch is "complete"
 	// once a strictly newer one has been seen (the collectors moved on).
-	maxSeen    int
-	sawAny     bool
-	floor      int // epochs <= floor are closed (analyzed or evicted)
-	floorValid bool
+	maxSeen    int  // guarded by mu
+	sawAny     bool // guarded by mu
+	floor      int  // guarded by mu; epochs <= floor are closed (analyzed or evicted)
+	floorValid bool // guarded by mu
 	// lastSeen is the router registry: the newest epoch each router has
 	// ever stamped on a digest (late and duplicate digests count — the
 	// router is alive even when its data is unusable). Quorum liveness is
 	// derived from it.
-	lastSeen map[int]int
+	lastSeen map[int]int // guarded by mu
 }
 
 // New builds a center.

@@ -75,10 +75,10 @@ type Proxy struct {
 	ln     net.Listener
 
 	mu          sync.Mutex
-	partitioned bool
-	conns       map[net.Conn]struct{}
-	seq         uint64
-	closed      bool
+	partitioned bool                  // guarded by mu
+	conns       map[net.Conn]struct{} // guarded by mu
+	seq         uint64                // guarded by mu
+	closed      bool                  // guarded by mu
 
 	wg sync.WaitGroup
 }

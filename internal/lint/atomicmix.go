@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicmixRule guards the typed sync/atomic values (atomic.Int64 and
+// friends) the transport and center stats use for their lock-free counters.
+// Two mistakes silently break them: copying a struct that contains one (the
+// copy races with the original and, for types carrying a noCopy sentinel,
+// defeats the alignment guarantee), and assigning to one directly instead of
+// calling Store (a plain write is not atomic and races every Load). go vet's
+// copylocks catches some copies; this rule closes the direct-assignment hole
+// and flags by-value receivers and parameters of atomic-bearing structs.
+var atomicmixRule = Rule{
+	Name: "atomicmix",
+	Doc:  "typed sync/atomic values must not be copied by value or assigned directly; use Load/Store/Add through a pointer",
+	Run:  runAtomicmix,
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// atomic.Pointer[T] instantiations are *types.Named too; aliases
+		// resolve through Unalias.
+		named, ok = types.Unalias(t).(*types.Named)
+		if !ok {
+			return false
+		}
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether a struct type directly holds a typed atomic
+// field, returning the first such field's name.
+func containsAtomic(t types.Type) (string, bool) {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomicType(st.Field(i).Type()) {
+			return st.Field(i).Name(), true
+		}
+	}
+	return "", false
+}
+
+func runAtomicmix(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkAtomicSignature(pass, info, fd)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if ident, ok := lhs.(*ast.Ident); ok && ident.Name == "_" {
+					continue
+				}
+				tv, ok := info.Types[lhs]
+				if ok && isAtomicType(tv.Type) {
+					pass.Reportf(lhs.Pos(),
+						"direct assignment to atomic value %s is not atomic and races concurrent Loads; call Store", exprString(lhs))
+					continue
+				}
+				// x := y or x = y where the value copied carries atomics.
+				if i < len(assign.Rhs) && len(assign.Lhs) == len(assign.Rhs) {
+					if rtv, ok := info.Types[assign.Rhs[i]]; ok && !isPointer(rtv.Type) {
+						if field, has := containsAtomic(rtv.Type); has {
+							pass.Reportf(assign.Rhs[i].Pos(),
+								"copies %s by value, duplicating its atomic field %s; keep a pointer instead", typeString(rtv.Type), field)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkAtomicSignature(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := info.Types[f.Type]
+			if !ok || isPointer(tv.Type) {
+				continue
+			}
+			if field, has := containsAtomic(tv.Type); has {
+				pass.Reportf(f.Type.Pos(),
+					"%s of %s passes %s by value, copying its atomic field %s; use a pointer",
+					kind, fd.Name.Name, typeString(tv.Type), field)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// exprString renders a selector/identifier chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expectation is one `// want "regexp"` comment in a golden file: the line
+// must produce an unsuppressed finding whose "rule: message" string matches
+// the pattern. A line may carry several quoted patterns.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseExpectations extracts want-comments from every non-test Go file in
+// dir. The comment syntax follows x/tools' analysistest: trailing
+// `// want "re1" "re2"` with each pattern in a Go string literal.
+func parseExpectations(dir string) ([]*expectation, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s:%d: malformed want comment: patterns must be quoted", path, pos.Line)
+					}
+					lit, remainder, err := cutStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", path, pos.Line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, pos.Line, err)
+					}
+					out = append(out, &expectation{file: path, line: pos.Line, pattern: re})
+					rest = strings.TrimSpace(remainder)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// cutStringLit splits a leading Go string literal off s.
+func cutStringLit(s string) (value, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad string literal %s: %v", s[:i+1], err)
+			}
+			return v, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal in want comment")
+}
+
+// CheckGolden loads the package rooted at dir under the import path rel
+// (whose segments drive rule scoping), runs the given rules, and compares
+// the unsuppressed findings against the `// want` expectations. It returns
+// one error string per mismatch: an expectation no finding matched, or a
+// finding no expectation covers.
+func CheckGolden(dir, rel string, rules []Rule) ([]string, error) {
+	pkg, err := LoadDir(dir, rel)
+	if err != nil {
+		return nil, err
+	}
+	findings := Unsuppressed(RunRules(pkg, rules))
+	wants, err := parseExpectations(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for _, f := range findings {
+		text := f.Rule + ": " + f.Message
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(text) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

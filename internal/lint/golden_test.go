@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// runGolden checks one testdata package against its // want expectations,
+// running only the named rules so each corpus pins exactly one rule's
+// behaviour (plus the always-on suppression machinery).
+func runGolden(t *testing.T, rel string, ruleNames ...string) {
+	t.Helper()
+	var rules []Rule
+	for _, r := range Rules() {
+		for _, n := range ruleNames {
+			if r.Name == n {
+				rules = append(rules, r)
+			}
+		}
+	}
+	if len(rules) != len(ruleNames) {
+		t.Fatalf("unknown rule in %v (registry has %d of them)", ruleNames, len(rules))
+	}
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	problems, err := CheckGolden(dir, rel, rules)
+	if err != nil {
+		t.Fatalf("golden %s: %v", rel, err)
+	}
+	for _, p := range problems {
+		t.Errorf("golden %s: %s", rel, p)
+	}
+}
+
+func TestGoldenSeededrand(t *testing.T) {
+	runGolden(t, "seededrand", "seededrand")
+}
+
+func TestGoldenWalltime(t *testing.T) {
+	// aligned is in walltime's deterministic-package scope; clock is the
+	// out-of-scope negative where wall-clock reads are fine.
+	runGolden(t, "walltime/aligned", "walltime")
+	runGolden(t, "walltime/clock", "walltime")
+}
+
+func TestGoldenLockdiscipline(t *testing.T) {
+	runGolden(t, "lockdiscipline", "lockdiscipline")
+}
+
+func TestGoldenAtomicmix(t *testing.T) {
+	runGolden(t, "atomicmix", "atomicmix")
+}
+
+func TestGoldenErrcrit(t *testing.T) {
+	// journal is in errcrit's crash-safety scope; other is the out-of-scope
+	// negative where best-effort closes are tolerated.
+	runGolden(t, "errcrit/journal", "errcrit")
+	runGolden(t, "errcrit/other", "errcrit")
+}

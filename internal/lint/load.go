@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module (non-test files only —
+// dcslint's invariants are about library and command code; tests are free to
+// use wall clocks and ad-hoc RNG seeds).
+type Package struct {
+	// Path is the import path ("dcstream/internal/center", or the
+	// testdata-relative path in golden tests).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset positions every file in the load (shared across the whole load,
+	// as the source importer requires).
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// stdImporter builds the fallback importer used for every import outside the
+// module under analysis. "source" mode type-checks dependencies from source,
+// which keeps dcslint working without compiled export data; cgo is disabled
+// so packages like net resolve to their pure-Go variants.
+func stdImporter(fset *token.FileSet) types.Importer {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// moduleImporter resolves module-internal imports from the packages already
+// checked in dependency order and delegates everything else to the source
+// importer.
+type moduleImporter struct {
+	modulePath string
+	local      map[string]*types.Package
+	std        types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	if m.modulePath != "" && (path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/")) {
+		return nil, fmt.Errorf("lint: module package %s not yet checked (import cycle?)", path)
+	}
+	return m.std.Import(path)
+}
+
+// modulePathFromGoMod extracts the module path from a go.mod file.
+func modulePathFromGoMod(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "module")
+		if !ok || rest == line {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			continue
+		}
+		if unq, err := strconv.Unquote(rest); err == nil {
+			rest = unq
+		}
+		return rest, nil
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", path)
+}
+
+// FindModuleRoot walks upward from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every non-test package under root (the
+// directory containing go.mod), skipping testdata, vendor, and hidden
+// directories. Packages are returned sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	modulePath, err := modulePathFromGoMod(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type parsed struct {
+		path, dir string
+		files     []*ast.File
+		imports   []string
+	}
+	byPath := make(map[string]*parsed, len(dirs))
+	var order []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modulePath
+		if rel != "." {
+			importPath = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		p := &parsed{path: importPath, dir: dir, files: files}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if (ip == modulePath || strings.HasPrefix(ip, modulePath+"/")) && !seen[ip] {
+					seen[ip] = true
+					p.imports = append(p.imports, ip)
+				}
+			}
+		}
+		byPath[importPath] = p
+		order = append(order, importPath)
+	}
+	sort.Strings(order)
+
+	// Topologically sort by module-internal imports so each package's
+	// dependencies are checked before it.
+	var topo []string
+	state := make(map[string]int, len(order)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range byPath[path].imports {
+			if _, ok := byPath[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		topo = append(topo, path)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		modulePath: modulePath,
+		local:      make(map[string]*types.Package, len(topo)),
+		std:        stdImporter(fset),
+	}
+	pkgs := make([]*Package, 0, len(topo))
+	for _, path := range topo {
+		p := byPath[path]
+		pkg, err := checkPackage(fset, path, p.files, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[path] = pkg.Types
+		pkg.Dir = p.dir
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory as the package
+// importPath, resolving all imports through the source importer. It is the
+// loader the golden-test runner uses: testdata packages import only the
+// standard library.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	pkg, err := checkPackage(fset, importPath, files, stdImporter(fset))
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func checkPackage(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

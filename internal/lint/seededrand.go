@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededrandRule flags the two ways an irreproducible random stream sneaks
+// into library code: calls to math/rand's top-level functions (they draw from
+// the shared global source, which Go seeds randomly since 1.20) and RNG
+// sources seeded from the wall clock. Every experiment in this repository is
+// a claim of the form "with seed S the Erdős–Rényi threshold test behaves
+// like Figure 9" — a global or time-seeded source voids the claim, so RNGs
+// must be constructed from an explicit seed (stats.NewRand or an explicitly
+// seeded rand.NewSource) and flow through parameters.
+var seededrandRule = Rule{
+	Name: "seededrand",
+	Doc:  "no global math/rand top-level functions or time-seeded sources in library code; RNGs flow from stats.NewRand / explicit seeds",
+	Run:  runSeededrand,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that consume the process-global source. Constructors (New,
+// NewSource, NewZipf) are deliberately absent: building an explicitly seeded
+// generator is exactly what the rule wants.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func runSeededrand(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
+			if !ok || !isRandPkg(pkgName.Imported().Path()) {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case globalRandFuncs[name]:
+				pass.Reportf(call.Pos(),
+					"call to global math/rand.%s draws from the process-wide source; take a *rand.Rand built by stats.NewRand(seed) instead", name)
+			case name == "New" || name == "NewSource":
+				if tn := timeNowCall(info, call.Args); tn != nil {
+					// rand.New(rand.NewSource(time.Now()...)) nests two
+					// constructors around one clock read; the innermost one
+					// owns the report.
+					if nested := nestedRandConstructor(info, call.Args); nested {
+						return true
+					}
+					pass.Reportf(tn.Pos(),
+						"rand.%s seeded from the wall clock makes every run irreproducible; use an explicit seed (stats.NewRand)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// nestedRandConstructor reports whether any argument contains a nested
+// rand.New/rand.NewSource call (which will be visited and reported on its
+// own).
+func nestedRandConstructor(info *types.Info, args []ast.Expr) bool {
+	nested := false
+	for _, arg := range args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return !nested
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "New" || sel.Sel.Name == "NewSource") {
+				if pkgIdent, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := info.Uses[pkgIdent].(*types.PkgName); ok && isRandPkg(pn.Imported().Path()) {
+						nested = true
+						return false
+					}
+				}
+			}
+			return !nested
+		})
+	}
+	return nested
+}
+
+// timeNowCall returns the first time.Now() call nested anywhere in the given
+// argument expressions, or nil.
+func timeNowCall(info *types.Info, args []ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, arg := range args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+				if pkgIdent, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := info.Uses[pkgIdent].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+						found = call
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}

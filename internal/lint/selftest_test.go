@@ -1,0 +1,32 @@
+package lint
+
+import "testing"
+
+// TestModuleIsClean runs every dcslint rule over the real dcstream module and
+// asserts zero unsuppressed findings — the same bar `make lint` enforces, so
+// a rule change that trips on the tree fails here first.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadModule returned no packages")
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings := RunRules(pkg, Rules())
+		for _, f := range Unsuppressed(findings) {
+			t.Errorf("unsuppressed finding: %s", f)
+		}
+		total += len(findings)
+	}
+	t.Logf("checked %d packages, %d findings total (all suppressed)", len(pkgs), total)
+}

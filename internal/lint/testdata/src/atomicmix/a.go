@@ -1,0 +1,45 @@
+// Package atomicmix exercises the atomicmix rule: typed sync/atomic values
+// are operated on through Load/Store/Add via a pointer, never assigned
+// directly or copied wholesale.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats is a typical lock-free counter block.
+type Stats struct {
+	Hits  atomic.Int64
+	Level atomic.Uint64
+	Live  atomic.Bool
+}
+
+// direct assigns an atomic value with =, which is not atomic at all.
+func direct(s, other *Stats) {
+	s.Hits = other.Hits // want `atomicmix: direct assignment to atomic value s\.Hits`
+}
+
+// snapshotWrong copies the whole struct, duplicating every counter.
+func snapshotWrong(s *Stats) {
+	local := *s // want `atomicmix: copies .*Stats by value, duplicating its atomic field Hits`
+	_ = local
+}
+
+// byValueMethod copies the stats through its receiver.
+func (s Stats) byValueMethod() {} // want `atomicmix: receiver of byValueMethod passes .*Stats by value`
+
+// byValueParam copies them through a parameter.
+func byValueParam(s Stats) {} // want `atomicmix: parameter of byValueParam passes .*Stats by value`
+
+// bump is the approved shape: pointer receiver, atomic methods.
+func (s *Stats) bump() { s.Hits.Add(1) }
+
+// snapshotRight reads each counter individually into plain integers.
+func snapshotRight(s *Stats) (int64, uint64) {
+	s.Level.Store(3)
+	s.Live.Store(true)
+	return s.Hits.Load(), s.Level.Load()
+}
+
+// suppressed demonstrates the escape hatch.
+func suppressed(s, o *Stats) {
+	s.Hits = o.Hits //dcslint:ignore atomicmix golden-corpus demo of the suppression syntax
+}

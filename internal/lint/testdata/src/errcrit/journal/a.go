@@ -1,0 +1,38 @@
+// Package journal exercises the errcrit rule inside a crash-safety-critical
+// package (the "journal" path segment puts it in scope): write-path errors
+// must be surfaced, not discarded.
+package journal
+
+import (
+	"fmt"
+	"os"
+)
+
+// discards throws away every kind of write-path error the rule knows.
+func discards(f *os.File, path string) {
+	f.Write([]byte("x")) // want `errcrit: error from f\.Write discarded`
+	f.Sync()             // want `errcrit: error from f\.Sync discarded`
+	defer f.Close()      // want `errcrit: error from f\.Close discarded by defer`
+	os.Remove(path)      // want `errcrit: error from os\.Remove discarded`
+	_ = f.Truncate(0)    // want `errcrit: error from f\.Truncate assigned to _`
+}
+
+// checked is the approved shape: every failure surfaces.
+func checked(f *os.File) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return f.Close()
+}
+
+// besteffort demonstrates the documented escape hatch.
+func besteffort(path string) {
+	//dcslint:ignore errcrit golden-corpus demo: removal here is best-effort cleanup
+	os.Remove(path)
+}
+
+// report shows calls without an error result are never flagged.
+func report(n int) { fmt.Println("frames:", n) }

@@ -1,0 +1,10 @@
+// Package other is the errcrit rule's negative case: its path has no
+// journal/transport/center segment, so best-effort closes are tolerated
+// (the repository-wide bar is set by the crash-safety packages, not every
+// package).
+package other
+
+import "os"
+
+// teardown is fine here: "other" is not a crash-safety-critical package.
+func teardown(f *os.File) { f.Close() }

@@ -1,0 +1,107 @@
+// Package lockdiscipline exercises the lockdiscipline rule: fields
+// annotated "guarded by mu" are only touched with mu held, no return path
+// leaks a held lock, and no mutex-bearing struct travels by value.
+package lockdiscipline
+
+import "sync"
+
+// Box is a mutex-protected struct with annotated fields.
+type Box struct {
+	mu sync.Mutex
+
+	count int      // guarded by mu
+	items []string // guarded by mu
+}
+
+// Add is the classic lock/defer-unlock shape: clean.
+func (b *Box) Add(item string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.items = append(b.items, item)
+	b.count++
+}
+
+// TryAdd uses explicit unlocks with an early-exit branch: clean, because the
+// branch's Unlock is followed by a return and so never releases the
+// fall-through path.
+func (b *Box) TryAdd(item string) bool {
+	b.mu.Lock()
+	if b.count > 10 {
+		b.mu.Unlock()
+		return false
+	}
+	b.items = append(b.items, item)
+	b.mu.Unlock()
+	return true
+}
+
+// appendLocked relies on the *Locked naming convention: the caller locks.
+func (b *Box) appendLocked(item string) {
+	b.items = append(b.items, item)
+}
+
+// reset empties the box. Caller holds b.mu.
+func (b *Box) reset() {
+	b.items = nil
+	b.count = 0
+}
+
+// Peek reads a guarded field with no lock anywhere in sight.
+func (b *Box) Peek() int {
+	return b.count // want `lockdiscipline: b\.count is guarded by mu but accessed without b\.mu\.Lock`
+}
+
+// Racy releases the lock and keeps reading.
+func (b *Box) Racy() int {
+	b.mu.Lock()
+	n := b.count
+	b.mu.Unlock()
+	return n + b.count // want `lockdiscipline: b\.count is guarded by mu but accessed after b\.mu\.Unlock`
+}
+
+// Leak forgets to unlock on the early-return path.
+func (b *Box) Leak(item string) bool {
+	b.mu.Lock()
+	if item == "" {
+		return false // want `lockdiscipline: return while b\.mu may still be locked`
+	}
+	b.items = append(b.items, item)
+	b.mu.Unlock()
+	return true
+}
+
+// Copied moves the whole box — mutex included — by value.
+func (b Box) Copied() {} // want `lockdiscipline: receiver of Copied copies .*Box by value, including its mutex mu`
+
+// Inspect copies it again through a parameter.
+func Inspect(b Box) int { return 0 } // want `lockdiscipline: parameter of Inspect copies .*Box by value, including its mutex mu`
+
+// NewBox touches guarded fields of a value that is still private to its
+// constructor: exempt, nothing else can race with it yet.
+func NewBox() *Box {
+	b := &Box{}
+	b.count = 1
+	return b
+}
+
+// Async shows lock state never crosses into a closure, and a closure that
+// locks for itself is clean.
+func (b *Box) Async() {
+	go func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.count++
+	}()
+}
+
+// Sneaky demonstrates the escape hatch.
+func (b *Box) Sneaky() int {
+	return b.count //dcslint:ignore lockdiscipline golden-corpus demo of the suppression syntax
+}
+
+// Mislabeled has an annotation naming a nonexistent mutex: the annotation
+// itself is the bug.
+type Mislabeled struct {
+	mu    sync.Mutex
+	value int // guarded by lock // want `lockdiscipline: guarded-by annotation names "lock"`
+}

@@ -1,0 +1,39 @@
+// Package seededrand exercises the seededrand rule: library code must not
+// draw from math/rand's process-global source or seed a source from the
+// wall clock — every RNG flows from an explicit seed.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globals draws from the process-wide source; each call reports separately.
+func globals() int {
+	n := rand.Intn(10)                 // want `seededrand: call to global math/rand\.Intn`
+	rand.Shuffle(n, func(i, j int) {}) // want `seededrand: call to global math/rand\.Shuffle`
+	return n
+}
+
+// reseed is the classic pre-1.20 idiom the rule exists to keep out.
+func reseed() {
+	rand.Seed(42) // want `seededrand: call to global math/rand\.Seed`
+}
+
+// timeSeeded defeats reproducibility even though it builds its own source.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seededrand: rand\.NewSource seeded from the wall clock`
+}
+
+// seeded is the approved shape: an explicit seed flowing in from the caller.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// consume shows that using a passed-in *rand.Rand is always fine.
+func consume(r *rand.Rand) int { return r.Intn(10) }
+
+// suppressed demonstrates the documented escape hatch.
+func suppressed() float64 {
+	return rand.Float64() //dcslint:ignore seededrand golden-corpus demo of the suppression syntax
+}

@@ -1,0 +1,32 @@
+// Package aligned exercises the walltime rule inside a deterministic
+// package (the "aligned" path segment puts it in scope): wall-clock reads
+// are banned; time values may still flow through as data.
+package aligned
+
+import "time"
+
+// stamp reads the ambient clock — the exact leak the rule exists for.
+func stamp() time.Time {
+	return time.Now() // want `walltime: time\.Now in deterministic package aligned`
+}
+
+// elapsed hides the same read behind a helper.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `walltime: time\.Since in deterministic package aligned`
+}
+
+// tick depends on wall-clock scheduling.
+func tick() <-chan time.Time {
+	return time.After(time.Millisecond) // want `walltime: time\.After in deterministic package aligned`
+}
+
+// format only transforms a caller-supplied value: fine.
+func format(t time.Time) string { return t.String() }
+
+// budget shows duration arithmetic is fine — only ambient reads are banned.
+func budget(d time.Duration) time.Duration { return 2 * d }
+
+// suppressed demonstrates the escape hatch.
+func suppressed() time.Time {
+	return time.Now() //dcslint:ignore walltime golden-corpus demo of the suppression syntax
+}

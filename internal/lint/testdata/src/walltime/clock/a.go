@@ -1,0 +1,13 @@
+// Package clock is the walltime rule's negative case: its path has no
+// deterministic-package segment, so wall-clock reads are allowed (this is
+// the transport/experiments situation — deadlines and benchmarks are
+// legitimately time-dependent).
+package clock
+
+import "time"
+
+// stamp is fine here: "clock" is not a deterministic package.
+func stamp() time.Time { return time.Now() }
+
+// elapsed likewise.
+func elapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the path segments naming the packages whose outputs
+// must be pure functions of (input, seed): the detector math, the graph and
+// statistics machinery, and the synthetic workload generators. transport,
+// center, journal, faultinject, experiments, and the commands legitimately
+// read the clock (deadlines, benchmarks) and are therefore not listed.
+var deterministicPkgs = []string{
+	"aligned", "unaligned", "graph", "stats", "simulate", "trafficgen", "baseline",
+}
+
+// walltimeRule keeps the wall clock out of the deterministic packages. A
+// time.Now() hiding in a threshold computation or a trace generator makes
+// the paper's reproductions (ER threshold position, Table 1–3, the stress
+// tier) unrepeatable in exactly the way a stray global RNG does; timestamps
+// and durations must be inputs, not ambient reads.
+var walltimeRule = Rule{
+	Name: "walltime",
+	Doc:  "no wall-clock reads (time.Now/Since/Until/Tick/After/NewTicker/NewTimer) in the deterministic packages",
+	Run:  runWalltime,
+}
+
+// wallClockFuncs are the time-package functions that observe or depend on
+// the wall clock. time.Sleep is deliberately absent: sleeping changes when a
+// result is computed, never what it is.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func runWalltime(pass *Pass) {
+	if !pass.PathHasSegment(deterministicPkgs...) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := info.Uses[pkgIdent].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+				pass.Reportf(sel.Pos(),
+					"time.%s in deterministic package %s; pass timestamps or durations in from the caller so results depend only on (input, seed)",
+					sel.Sel.Name, pass.Pkg.Types.Name())
+			}
+			return true
+		})
+	}
+}

@@ -74,8 +74,8 @@ type ReconnectingClient struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []Message
-	closed bool
+	queue  []Message // guarded by mu
+	closed bool      // guarded by mu
 
 	closedCh chan struct{}
 	done     chan struct{}
@@ -217,6 +217,7 @@ func (c *ReconnectingClient) run() {
 	var connDead chan struct{}
 	defer func() {
 		if conn != nil {
+			//dcslint:ignore errcrit sender teardown; undelivered frames stay queued and are counted by Close, not lost here
 			conn.Close()
 		}
 	}()
@@ -233,6 +234,7 @@ func (c *ReconnectingClient) run() {
 		if conn != nil {
 			select {
 			case <-connDead:
+				//dcslint:ignore errcrit the monitor already declared this connection dead; the head message stays queued for the next one
 				conn.Close()
 				conn = nil
 			default:
@@ -263,10 +265,19 @@ func (c *ReconnectingClient) run() {
 			}
 		}
 		if c.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+			if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil {
+				// Arming the deadline failed, so the fd is already dead:
+				// writing undeadlined could block forever. Retry the head on
+				// a fresh connection exactly like a failed write.
+				//dcslint:ignore errcrit closing a connection that just failed SetWriteDeadline; the head message stays queued
+				conn.Close()
+				conn = nil
+				continue
+			}
 		}
 		headAttempted = true
 		if err := Write(conn, m); err != nil {
+			//dcslint:ignore errcrit the write already failed and is being retried; the close error adds nothing
 			conn.Close()
 			conn = nil
 			continue // head stays queued; retried on the next connection
