@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 30s
+BENCH_LABEL ?= local
+BENCH_SCALE ?= default
 
-.PHONY: build test lint verify bench chaos fuzz-smoke clean
+.PHONY: build test lint verify bench bench-json chaos fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +31,14 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Tracked benchmark baseline: run every experiment driver through dcsbench
+# and record per-experiment wall time plus the environment (GOMAXPROCS,
+# goos/goarch) in BENCH_$(BENCH_LABEL).json. Timing records from different
+# environments are not comparable — the environment block is there so nobody
+# compares them blindly.
+bench-json:
+	$(GO) run ./cmd/dcsbench -exp all -scale $(BENCH_SCALE) -json -label $(BENCH_LABEL) > BENCH_$(BENCH_LABEL).json
 
 # Fault-injection tier: the chaos-proxy integration tests (crash recovery
 # through a corrupting link, quorum under partition, eventual delivery and

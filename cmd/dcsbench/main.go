@@ -2,17 +2,24 @@
 //
 //	dcsbench -exp all -scale default
 //	dcsbench -exp fig13,table2 -scale paper -seed 7
+//	dcsbench -exp complexity,fig13 -scale test -json -label ci > BENCH_ci.json
 //
 // Experiments: fig7, fig11, fig12, fig13, table1, table2, table3, stress,
 // complexity, persistence, ablation-offsets, ablation-hopefuls,
 // ablation-sampling, all.
 // Scales: test (seconds), default (tens of seconds), paper (minutes).
+//
+// With -json the human tables are suppressed and a machine-readable
+// benchmark record (label, environment, per-experiment wall time) is
+// written to stdout, suitable for committing as a tracked baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,7 +28,7 @@ import (
 
 type runner struct {
 	name string
-	run  func(seed uint64, s experiments.Scale) (fmt.Stringer, error)
+	run  func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error)
 }
 
 // tabler adapts the experiments' Table() convention to fmt.Stringer.
@@ -38,78 +45,122 @@ func wrap[T interface{ Table() string }](f func() (T, error)) (fmt.Stringer, err
 }
 
 var runners = []runner{
-	{"fig7", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"fig7", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Fig7Result, error) {
-			return experiments.RunFig7(experiments.Fig7ParamsFor(seed, s))
+			p := experiments.Fig7ParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunFig7(p)
 		})
 	}},
-	{"fig11", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"fig11", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Fig11Result, error) {
-			return experiments.RunFig11(experiments.Fig11ParamsFor(seed, s))
+			p := experiments.Fig11ParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunFig11(p)
 		})
 	}},
-	{"fig12", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"fig12", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Fig12Result, error) {
 			return experiments.RunFig12(experiments.Fig12ParamsFor(s))
 		})
 	}},
-	{"fig13", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"fig13", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Fig13Result, error) {
-			return experiments.RunFig13(experiments.Fig13ParamsFor(seed, s))
+			p := experiments.Fig13ParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunFig13(p)
 		})
 	}},
-	{"table1", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"table1", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Table1Result, error) {
-			return experiments.RunTable1(experiments.Table1ParamsFor(seed, s))
+			p := experiments.Table1ParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunTable1(p)
 		})
 	}},
-	{"table2", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"table2", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Table2Result, error) {
 			return experiments.RunTable2(experiments.Table2ParamsFor(s))
 		})
 	}},
-	{"table3", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"table3", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.Table3Result, error) {
-			return experiments.RunTable3(experiments.Table3ParamsFor(seed, s))
+			p := experiments.Table3ParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunTable3(p)
 		})
 	}},
-	{"stress", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"stress", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.StressResult, error) {
-			return experiments.RunStress(experiments.StressParamsFor(seed, s))
+			p := experiments.StressParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunStress(p)
 		})
 	}},
-	{"complexity", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"complexity", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.ComplexityResult, error) {
-			return experiments.RunComplexity(experiments.ComplexityParamsFor(seed, s))
+			p := experiments.ComplexityParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunComplexity(p)
 		})
 	}},
-	{"persistence", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"persistence", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.PersistenceResult, error) {
-			return experiments.RunPersistence(experiments.PersistenceParamsFor(seed, s))
+			p := experiments.PersistenceParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunPersistence(p)
 		})
 	}},
-	{"ablation-offsets", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"ablation-offsets", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.AblationOffsetsResult, error) {
-			return experiments.RunAblationOffsets(experiments.AblationOffsetsParamsFor(seed, s))
+			p := experiments.AblationOffsetsParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunAblationOffsets(p)
 		})
 	}},
-	{"ablation-hopefuls", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"ablation-hopefuls", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.AblationHopefulsResult, error) {
-			return experiments.RunAblationHopefuls(experiments.AblationHopefulsParamsFor(seed, s))
+			p := experiments.AblationHopefulsParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunAblationHopefuls(p)
 		})
 	}},
-	{"ablation-sampling", func(seed uint64, s experiments.Scale) (fmt.Stringer, error) {
+	{"ablation-sampling", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.AblationSamplingResult, error) {
-			return experiments.RunAblationSampling(experiments.AblationSamplingParamsFor(seed, s))
+			p := experiments.AblationSamplingParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunAblationSampling(p)
 		})
 	}},
 }
 
+// benchRecord is the -json document. Millis values are wall time and thus
+// environment-dependent; everything identifying the environment rides along
+// so baselines from different machines are never compared blindly.
+type benchRecord struct {
+	Label       string       `json:"label"`
+	Scale       string       `json:"scale"`
+	Seed        uint64       `json:"seed"`
+	Workers     int          `json:"workers"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+type benchEntry struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
-		scaleFlag = flag.String("scale", "default", "test | default | paper")
-		seedFlag  = flag.Uint64("seed", 42, "random seed")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
+		scaleFlag   = flag.String("scale", "default", "test | default | paper")
+		seedFlag    = flag.Uint64("seed", 42, "random seed")
+		workersFlag = flag.Int("workers", 0, "trial/scan goroutines per experiment (0 = GOMAXPROCS, negative = serial)")
+		jsonFlag    = flag.Bool("json", false, "emit a machine-readable timing record instead of tables")
+		labelFlag   = flag.String("label", "local", "label stored in the -json record")
 	)
 	flag.Parse()
 
@@ -135,23 +186,47 @@ func main() {
 		}
 	}
 
-	ran := 0
+	record := benchRecord{
+		Label:      *labelFlag,
+		Scale:      scale.String(),
+		Seed:       *seedFlag,
+		Workers:    *workersFlag,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.name] {
 			continue
 		}
 		start := time.Now()
-		res, err := r.run(*seedFlag, scale)
+		res, err := r.run(*seedFlag, scale, *workersFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
 			os.Exit(1)
 		}
-		fmt.Println(res.String())
-		fmt.Printf("(%s finished in %v at scale %s)\n\n", r.name, time.Since(start).Round(time.Millisecond), scale)
-		ran++
+		elapsed := time.Since(start)
+		if *jsonFlag {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Println(res.String())
+			fmt.Printf("(%s finished in %v at scale %s)\n\n", r.name, elapsed.Round(time.Millisecond), scale)
+		}
+		record.Experiments = append(record.Experiments, benchEntry{
+			Name:   r.name,
+			Millis: float64(elapsed.Microseconds()) / 1000,
+		})
 	}
-	if ran == 0 {
+	if len(record.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
 		os.Exit(2)
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(record); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -35,7 +35,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -125,7 +124,7 @@ func main() {
 		threshold   = flag.Int("er-threshold", 12, "unaligned ER component threshold")
 		beta        = flag.Int("beta", 8, "unaligned core size")
 		dExp        = flag.Int("d", 2, "unaligned expansion degree threshold")
-		workers     = flag.Int("workers", runtime.NumCPU(), "correlation-pass goroutines")
+		workers     = flag.Int("workers", 0, "analysis goroutines (0 = GOMAXPROCS, negative = serial)")
 		once        = flag.Bool("once", false, "analyze one window tick and exit (for scripting)")
 		stats       = flag.Bool("stats", false, "log transport/ingest counters every window tick")
 		journalDir  = flag.String("journal", "", "directory for the crash-safe digest journal (empty = no journal)")
@@ -140,7 +139,7 @@ func main() {
 		ComponentThreshold: *threshold,
 		Beta:               *beta,
 		D:                  *dExp,
-		Workers:            *workers,
+		Parallelism:        *workers,
 		MaxEpochs:          *maxEpochs,
 		MinRouters:         *minRouters,
 		MaxWait:            *maxWait,

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
 	"dcstream/internal/aligned"
 	"dcstream/internal/center"
@@ -53,7 +52,7 @@ func main() {
 		ComponentThreshold: *threshold,
 		Beta:               *beta,
 		D:                  *dExp,
-		Workers:            runtime.NumCPU(),
+		// Parallelism zero: every analysis stage sizes itself to GOMAXPROCS.
 	})
 
 	for router, path := range traces {

@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"dcstream/internal/bitvec"
 	"dcstream/internal/stats"
@@ -41,6 +43,12 @@ type DetectorConfig struct {
 	// pattern is detected, so the complete weight-loss curve (Figure 7) is
 	// recorded. Detection results are unaffected.
 	FullTrace bool
+	// Workers is the number of goroutines scanning candidate extensions at
+	// each level. Zero means GOMAXPROCS; negative means serial. The result
+	// is bit-identical at every worker count: each worker keeps a bounded
+	// top-k heap over a strided slice of the hopefuls and the merge resolves
+	// ties under the total order (weight desc, hopeful asc, column asc).
+	Workers int
 }
 
 // NaiveConfig returns the naive O(n² log n) detector configuration for a
@@ -114,6 +122,10 @@ type product struct {
 	vec     *bitvec.Vector
 	weight  int
 	members []int32 // positions within the sorted S₁ ordering, ascending
+	// owned marks vectors allocated by extend, which return to the free
+	// list when their level is dropped. Level-1 products borrow the matrix
+	// columns themselves and must never be recycled.
+	owned bool
 }
 
 func (p *product) maxMember() int32 { return p.members[len(p.members)-1] }
@@ -124,10 +136,26 @@ type candidate struct {
 	weight int32
 }
 
+// better is the strict total order deciding which candidates survive a full
+// top-k list: heavier first, then lower hopeful index, then lower column
+// index. No two candidates share (hi, cj), so the order has no ties and the
+// kept set is a pure function of the matrix — the same at any worker count.
+func (c candidate) better(o candidate) bool {
+	if c.weight != o.weight {
+		return c.weight > o.weight
+	}
+	if c.hi != o.hi {
+		return c.hi < o.hi
+	}
+	return c.cj < o.cj
+}
+
+// candHeap is a bounded top-k heap whose root is the *worst* kept candidate
+// under the better order, so Pop evicts deterministically on weight ties.
 type candHeap []candidate
 
 func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].weight < h[j].weight }
+func (h candHeap) Less(i, j int) bool  { return h[j].better(h[i]) }
 func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
 func (h *candHeap) Pop() interface{} {
@@ -136,6 +164,35 @@ func (h *candHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// vecPool recycles the product vectors of dropped hopeful levels. Every
+// vector in the aligned search has the same length (the matrix row count)
+// and AndInto overwrites every word, so recycled vectors need no reset.
+// extend builds products serially after the parallel scan, so the pool is
+// only ever touched from one goroutine.
+type vecPool struct {
+	free []*bitvec.Vector
+	n    int
+}
+
+func (vp *vecPool) get() *bitvec.Vector {
+	if k := len(vp.free); k > 0 {
+		v := vp.free[k-1]
+		vp.free = vp.free[:k-1]
+		return v
+	}
+	return bitvec.New(vp.n)
+}
+
+// recycle returns a level's owned vectors to the pool. Callers must not do
+// this before the next level is built: its AndInto reads these vectors.
+func (vp *vecPool) recycle(level []*product) {
+	for _, p := range level {
+		if p.owned {
+			vp.free = append(vp.free, p.vec)
+		}
+	}
 }
 
 // logNaturalOccurrence generalizes the paper's equation (1) bound to
@@ -169,6 +226,13 @@ func Detect(m *Matrix, cfg DetectorConfig) (Detection, error) {
 	}
 	if cfg.Hopefuls > cfg.SubsetSize {
 		cfg.Hopefuls = cfg.SubsetSize
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
 	// S₁: the SubsetSize heaviest columns ("screening by weight"),
@@ -226,12 +290,16 @@ func Detect(m *Matrix, cfg DetectorConfig) (Detection, error) {
 	bestScore := score(best)
 	prevW := hopefuls[0].weight
 	flatSeen := false
+	pool := &vecPool{n: m.Rows()}
 
 	for level := 2; level <= cfg.MaxIterations; level++ {
-		next := extend(m, s1, s1Weights, hopefuls, cfg.Hopefuls)
+		next := extend(m, s1, s1Weights, hopefuls, cfg.Hopefuls, workers, pool)
 		if len(next) == 0 {
 			break
 		}
+		// The new level is fully materialized, so the old level's owned
+		// vectors (best is a clone, nothing else escapes) can be reused.
+		pool.recycle(hopefuls)
 		hopefuls = next
 		w := hopefuls[0].weight
 		trace = append(trace, w)
@@ -309,7 +377,61 @@ func cloneProduct(p *product) *product {
 // member (each column set is enumerated exactly once, in ascending member
 // order). Hopefuls and S₁ are weight-sorted, so the scan prunes with the
 // bound weight(v·w) ≤ min(weight(v), weight(w)).
-func extend(m *Matrix, s1 []int, s1Weights []int, hopefuls []*product, k int) []*product {
+//
+// With workers > 1 the candidate scan fans out over strided slices of the
+// hopefuls, each worker keeping its own bounded top-k heap. A strided slice
+// of a weight-descending list is itself weight-descending, so every pruning
+// rule stays valid per worker, and the union of per-worker top-k sets is a
+// superset of the global top-k — merging, sorting under the candidate total
+// order, and truncating therefore yields exactly the serial result.
+func extend(m *Matrix, s1 []int, s1Weights []int, hopefuls []*product, k, workers int, pool *vecPool) []*product {
+	if workers > len(hopefuls) {
+		workers = len(hopefuls)
+	}
+	var cands []candidate
+	if workers <= 1 {
+		cands = scanCandidates(m, s1, s1Weights, hopefuls, k, 0, 1)
+	} else {
+		parts := make([][]candidate, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				parts[w] = scanCandidates(m, s1, s1Weights, hopefuls, k, w, workers)
+			}(w)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			cands = append(cands, p...)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].better(cands[j]) })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	// Build the surviving products serially, in final order (heaviest first,
+	// ties already resolved by the total order), reusing pooled vectors.
+	next := make([]*product, len(cands))
+	for i, c := range cands {
+		p := hopefuls[c.hi]
+		vec := pool.get()
+		weight := bitvec.AndInto(vec, p.vec, m.Col(s1[c.cj]))
+		members := make([]int32, len(p.members)+1)
+		copy(members, p.members)
+		members[len(p.members)] = c.cj
+		next[i] = &product{vec: vec, weight: weight, members: members, owned: true}
+	}
+	return next
+}
+
+// scanCandidates scores the extensions of hopefuls[offset], [offset+stride],
+// ... and returns the top-k among them under the candidate total order. The
+// weight-only comparisons against the heap floor are exact despite ties:
+// enumeration visits (hi, cj) in strictly ascending order, so a newcomer
+// whose weight merely equals the floor is always worse under the total order
+// than every incumbent and may be skipped outright.
+func scanCandidates(m *Matrix, s1 []int, s1Weights []int, hopefuls []*product, k, offset, stride int) []candidate {
 	h := make(candHeap, 0, k+1)
 	heapMin := func() int32 {
 		if len(h) < k {
@@ -317,7 +439,8 @@ func extend(m *Matrix, s1 []int, s1Weights []int, hopefuls []*product, k int) []
 		}
 		return h[0].weight
 	}
-	for hi, p := range hopefuls {
+	for hi := offset; hi < len(hopefuls); hi += stride {
+		p := hopefuls[hi]
 		if int32(p.weight) <= heapMin() {
 			break // later hopefuls are lighter still
 		}
@@ -343,16 +466,5 @@ func extend(m *Matrix, s1 []int, s1Weights []int, hopefuls []*product, k int) []
 			}
 		}
 	}
-	next := make([]*product, len(h))
-	for i, c := range h {
-		p := hopefuls[c.hi]
-		vec := bitvec.New(p.vec.Len())
-		weight := bitvec.AndInto(vec, p.vec, m.Col(s1[c.cj]))
-		members := make([]int32, len(p.members)+1)
-		copy(members, p.members)
-		members[len(p.members)] = c.cj
-		next[i] = &product{vec: vec, weight: weight, members: members}
-	}
-	sort.Slice(next, func(i, j int) bool { return next[i].weight > next[j].weight })
-	return next
+	return h
 }

@@ -1,0 +1,42 @@
+package aligned
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dcstream/internal/stats"
+)
+
+// TestDetectWorkerIndependent asserts the determinism contract of the
+// parallel extension scan: Detect is a pure function of (matrix, config
+// minus Workers), byte-identical at every worker count. Run under -race
+// this also exercises the per-worker heap fan-out for data races.
+func TestDetectWorkerIndependent(t *testing.T) {
+	for _, planted := range []bool{false, true} {
+		rng := stats.NewRand(41)
+		m := RandomMatrix(rng, 96, 512)
+		if planted {
+			m.PlantPattern(rng, 24, 12)
+		}
+		var base Detection
+		counts := []int{1, 2, 3, runtime.GOMAXPROCS(0), 0, -1, 1 << 20}
+		for i, w := range counts {
+			cfg := RefinedConfig(128)
+			cfg.Workers = w
+			cfg.FullTrace = true
+			det, err := Detect(m, cfg)
+			if err != nil {
+				t.Fatalf("planted=%v workers=%d: %v", planted, w, err)
+			}
+			if i == 0 {
+				base = det
+				continue
+			}
+			if !reflect.DeepEqual(det, base) {
+				t.Fatalf("planted=%v workers=%d: detection diverged from workers=%d\n got %+v\nwant %+v",
+					planted, w, counts[0], det, base)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package bitvec
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -89,11 +90,22 @@ func (v *Vector) Clone() *Vector {
 	return &Vector{words: w, n: v.n}
 }
 
-// OnesCount returns the number of set bits (the paper's "weight").
+// OnesCount returns the number of set bits (the paper's "weight"). The loop
+// is unrolled four words at a time: popcount chains have no cross-iteration
+// dependency, so the wider body keeps the ALUs busy and halves loop overhead
+// on the multi-kiloword vectors the unaligned analysis scans.
 func (v *Vector) OnesCount() int {
+	w := v.words
 	c := 0
-	for _, w := range v.words {
-		c += bits.OnesCount64(w)
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		c += bits.OnesCount64(w[i]) +
+			bits.OnesCount64(w[i+1]) +
+			bits.OnesCount64(w[i+2]) +
+			bits.OnesCount64(w[i+3])
+	}
+	for ; i < len(w); i++ {
+		c += bits.OnesCount64(w[i])
 	}
 	return c
 }
@@ -123,27 +135,79 @@ func (v *Vector) Or(a, b *Vector) {
 }
 
 // AndCount returns the popcount of a AND b without materializing the result.
-// This is the hot path of the unaligned analysis (pairwise row correlation).
+// This is the hot path of the unaligned analysis (pairwise row correlation);
+// like OnesCount it runs four words per iteration.
 func AndCount(a, b *Vector) int {
 	a.sameLen(b)
+	aw := a.words
+	bw := b.words[:len(aw)]
 	c := 0
-	aw, bw := a.words, b.words
-	for i := range aw {
+	i := 0
+	for ; i+4 <= len(aw); i += 4 {
+		c += bits.OnesCount64(aw[i]&bw[i]) +
+			bits.OnesCount64(aw[i+1]&bw[i+1]) +
+			bits.OnesCount64(aw[i+2]&bw[i+2]) +
+			bits.OnesCount64(aw[i+3]&bw[i+3])
+	}
+	for ; i < len(aw); i++ {
 		c += bits.OnesCount64(aw[i] & bw[i])
 	}
 	return c
 }
 
+// AndCountAtLeast reports whether popcount(a AND b) >= t, giving up on the
+// exact count: it checks the running total after every unrolled block and
+// returns as soon as the threshold is crossed. The unaligned correlation
+// pass only ever compares the overlap against a λ threshold, so on
+// correlated row pairs — where the common content concentrates ones early —
+// this exits after a fraction of the words. t <= 0 is trivially true.
+func AndCountAtLeast(a, b *Vector, t int) bool {
+	a.sameLen(b)
+	if t <= 0 {
+		return true
+	}
+	aw := a.words
+	bw := b.words[:len(aw)]
+	c := 0
+	i := 0
+	for ; i+4 <= len(aw); i += 4 {
+		c += bits.OnesCount64(aw[i]&bw[i]) +
+			bits.OnesCount64(aw[i+1]&bw[i+1]) +
+			bits.OnesCount64(aw[i+2]&bw[i+2]) +
+			bits.OnesCount64(aw[i+3]&bw[i+3])
+		if c >= t {
+			return true
+		}
+	}
+	for ; i < len(aw); i++ {
+		c += bits.OnesCount64(aw[i] & bw[i])
+	}
+	return c >= t
+}
+
 // AndInto computes dst = a AND b and returns dst's popcount in one pass,
 // which the aligned product iteration uses to score hopefuls while building
-// them.
+// them. Unrolled like AndCount.
 func AndInto(dst, a, b *Vector) int {
 	a.sameLen(b)
 	dst.sameLen(a)
+	aw := a.words
+	bw := b.words[:len(aw)]
+	dw := dst.words[:len(aw)]
 	c := 0
-	for i := range dst.words {
-		w := a.words[i] & b.words[i]
-		dst.words[i] = w
+	i := 0
+	for ; i+4 <= len(aw); i += 4 {
+		w0 := aw[i] & bw[i]
+		w1 := aw[i+1] & bw[i+1]
+		w2 := aw[i+2] & bw[i+2]
+		w3 := aw[i+3] & bw[i+3]
+		dw[i], dw[i+1], dw[i+2], dw[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(aw); i++ {
+		w := aw[i] & bw[i]
+		dw[i] = w
 		c += bits.OnesCount64(w)
 	}
 	return c
@@ -175,9 +239,23 @@ func (v *Vector) Indices() []int {
 	return out
 }
 
+// sparseFillCutoff is the density below which FillRandom switches from the
+// per-bit Bernoulli loop to geometric gap skipping. At p = 0.1 the skip path
+// draws ~0.1 uniforms per bit instead of 1; above it the constant factor of
+// the log evaluation stops paying for itself.
+const sparseFillCutoff = 0.1
+
 // FillRandom sets each bit to 1 independently with probability p, using the
 // caller-supplied uniform source (a func returning uniform float64 in [0,1)).
 // Used by Monte-Carlo matrix generation.
+//
+// For p below sparseFillCutoff the fill jumps directly between set bits by
+// sampling the geometric gap distribution (one uniform per *set* bit instead
+// of one per bit), so sparse fills cost O(p·n) draws. The marginal law of
+// every bit is unchanged, but the mapping from the uniform stream to bit
+// positions differs from the dense path — callers sharing one seeded source
+// across calls get a different (still deterministic) vector than the per-bit
+// loop would produce.
 func (v *Vector) FillRandom(p float64, uniform func() float64) {
 	v.Reset()
 	if p <= 0 {
@@ -189,6 +267,23 @@ func (v *Vector) FillRandom(p float64, uniform func() float64) {
 		}
 		v.maskTail()
 		return
+	}
+	if p < sparseFillCutoff {
+		// Geometric skipping: the gap before the next set bit is
+		// floor(log(1-u)/log(1-p)) zeros, by inversion of the geometric CDF.
+		logq := math.Log1p(-p) // log(1-p) < 0
+		i := -1
+		for {
+			f := math.Log1p(-uniform()) / logq
+			if f >= float64(v.n) { // jump past the end from any position
+				return
+			}
+			i += int(f) + 1
+			if i >= v.n {
+				return
+			}
+			v.words[i/wordBits] |= 1 << uint(i%wordBits)
+		}
 	}
 	for i := 0; i < v.n; i++ {
 		if uniform() < p {

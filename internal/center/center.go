@@ -60,8 +60,11 @@ type Config struct {
 	ComponentThreshold int
 	// Beta and D tune the core finder; zeros mean 8 and 2.
 	Beta, D int
-	// Workers parallelizes the unaligned correlation pass; zero means 1.
-	Workers int
+	// Parallelism is the worker count handed to every parallel analysis
+	// stage: the unaligned correlation passes and the aligned detector's
+	// level scan. Zero means GOMAXPROCS; negative means serial. Results are
+	// bit-identical at every setting — the knob trades wall clock only.
+	Parallelism int
 	// MaxEpochs bounds how many distinct epochs are buffered at once (the
 	// reorder window). Zero means 4. When a digest opens an epoch beyond
 	// the bound, the oldest buffered epoch is evicted unanalyzed and its
@@ -102,9 +105,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.D == 0 {
 		c.D = 2
-	}
-	if c.Workers == 0 {
-		c.Workers = 1
 	}
 	if c.MaxEpochs == 0 {
 		c.MaxEpochs = 4
@@ -555,7 +555,9 @@ func (c *Center) analyzeAligned(digests map[int]*bitvec.Vector) (*AlignedOutcome
 	if subset > width {
 		subset = width
 	}
-	det, err := aligned.Detect(aligned.FromDigests(vecs), aligned.RefinedConfig(subset))
+	acfg := aligned.RefinedConfig(subset)
+	acfg.Workers = c.cfg.Parallelism
+	det, err := aligned.Detect(aligned.FromDigests(vecs), acfg)
 	if err != nil {
 		return nil, err
 	}
@@ -599,7 +601,7 @@ func (c *Center) analyzeUnaligned(digests []*unaligned.Digest, meta windowMeta) 
 	if err != nil {
 		return nil, err
 	}
-	g, err := gm.BuildGraphParallel(lt, c.cfg.Workers)
+	g, err := gm.BuildGraphParallel(lt, c.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -623,7 +625,7 @@ func (c *Center) analyzeUnaligned(digests []*unaligned.Digest, meta windowMeta) 
 	if err != nil {
 		return nil, err
 	}
-	cg, err := gm.BuildGraphParallel(coreTable, c.cfg.Workers)
+	cg, err := gm.BuildGraphParallel(coreTable, c.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

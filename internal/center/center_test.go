@@ -107,7 +107,7 @@ func TestCenterUnalignedWindow(t *testing.T) {
 		ComponentThreshold: 10,
 		Beta:               7,
 		D:                  2,
-		Workers:            2, // exercise the parallel correlation path
+		Parallelism:        2, // exercise the parallel correlation path
 	})
 	for _, d := range res.Digests {
 		c.Ingest(transport.UnalignedDigest{Epoch: 1, Digest: d})

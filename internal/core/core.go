@@ -136,7 +136,8 @@ type UnalignedConfig struct {
 	// Seed drives threshold calibration and per-router offset seeds.
 	Seed uint64
 	// Workers parallelizes the pairwise-correlation pass (§IV-D's third
-	// complexity remedy). Zero means serial.
+	// complexity remedy). Zero means GOMAXPROCS, negative means serial;
+	// results are identical at every setting.
 	Workers int
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"dcstream/internal/aligned"
@@ -22,6 +23,9 @@ type AblationOffsetsParams struct {
 	Pairs       int // router pairs per k
 	SegmentSize int
 	ContentG    int
+	// Workers fans pairs out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // AblationOffsetsParamsFor returns sizing for a scale.
@@ -56,29 +60,29 @@ type AblationOffsetsResult struct {
 
 // RunAblationOffsets executes the sweep.
 func RunAblationOffsets(p AblationOffsetsParams) (*AblationOffsetsResult, error) {
-	rng := stats.NewRand(p.Seed)
-	content := trafficgen.NewContent(rng, p.ContentG, p.SegmentSize)
+	setupRng := stats.NewRand(p.Seed)
+	content := trafficgen.NewContent(setupRng, p.ContentG, p.SegmentSize)
 	prefix := make([]byte, p.SegmentSize)
-	rng.Read(prefix)
+	setupRng.Read(prefix)
 	res := &AblationOffsetsResult{Params: p}
-	for _, k := range p.KValues {
+	for ki, k := range p.KValues {
 		cfg := unaligned.CollectorConfig{
 			Groups: 1, ArraysPerGroup: k, ArrayBits: 512,
 			SegmentSize: p.SegmentSize, FragmentLen: 8, MinPayload: 40,
 			HashSeed: 7,
 		}
-		matches := 0
-		for trial := 0; trial < p.Pairs; trial++ {
+		matchSlots := make([]bool, p.Pairs)
+		err := forEachTrial(p.Seed, uint64(ki), p.Pairs, p.Workers, func(trial int, rng *rand.Rand) error {
 			aCfg, bCfg := cfg, cfg
-			aCfg.OffsetSeed = p.Seed ^ uint64(10000*k+2*trial)
-			bCfg.OffsetSeed = p.Seed ^ uint64(10000*k+2*trial+1)
+			aCfg.OffsetSeed = rng.Uint64()
+			bCfg.OffsetSeed = rng.Uint64()
 			a, err := unaligned.NewCollector(aCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			b, err := unaligned.NewCollector(bCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			la, lb := rng.Intn(p.SegmentSize), rng.Intn(p.SegmentSize)
 			for _, pk := range packet.Instance(1, content.Data, prefix, la, p.SegmentSize) {
@@ -96,7 +100,15 @@ func RunAblationOffsets(p AblationOffsetsParams) (*AblationOffsetsResult, error)
 					}
 				}
 			}
-			if best >= p.ContentG*2/3 {
+			matchSlots[trial] = best >= p.ContentG*2/3
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		matches := 0
+		for _, m := range matchSlots {
+			if m {
 				matches++
 			}
 		}
@@ -135,6 +147,9 @@ type AblationHopefulsParams struct {
 	PatternA, PatternB int
 	KValues            []int
 	Trials             int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); detection results are identical at every setting.
+	Workers int
 }
 
 // AblationHopefulsParamsFor returns sizing for a scale.
@@ -172,30 +187,43 @@ type AblationHopefulsResult struct {
 
 // RunAblationHopefuls executes the sweep.
 func RunAblationHopefuls(p AblationHopefulsParams) (*AblationHopefulsResult, error) {
-	rng := stats.NewRand(p.Seed)
 	res := &AblationHopefulsResult{Params: p}
-	for _, k := range p.KValues {
-		hits := 0
-		var elapsed time.Duration
-		for t := 0; t < p.Trials; t++ {
+	for ki, k := range p.KValues {
+		type trialOut struct {
+			hit     bool
+			elapsed time.Duration
+		}
+		outs := make([]trialOut, p.Trials)
+		err := forEachTrial(p.Seed, uint64(ki), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 			vs, err := aligned.SampleHeavyColumns(rng, aligned.VirtualConfig{
 				Rows: p.Rows, Cols: p.Cols, SubsetSize: p.SubsetSize,
 				PatternRows: p.PatternA, PatternCols: p.PatternB,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cfg := aligned.RefinedConfig(p.SubsetSize)
 			cfg.Hopefuls = k
+			cfg.Workers = serialDetector
 			start := time.Now()
 			det, err := aligned.Detect(vs.Matrix, cfg)
-			elapsed += time.Since(start)
+			outs[t].elapsed = time.Since(start)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if det.Found && patternRecovered(det.Rows, vs.PatternRowSet) {
+			outs[t].hit = det.Found && patternRecovered(det.Rows, vs.PatternRowSet)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits := 0
+		var elapsed time.Duration
+		for _, o := range outs {
+			if o.hit {
 				hits++
 			}
+			elapsed += o.elapsed
 		}
 		res.Rows = append(res.Rows, AblationHopefulsRow{
 			K:          k,
@@ -232,6 +260,9 @@ type AblationSamplingParams struct {
 	Rates  []float64
 	Trials int
 	D      int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // AblationSamplingParamsFor returns sizing for a scale.
@@ -281,13 +312,12 @@ func RunAblationSampling(p AblationSamplingParams) (*AblationSamplingResult, err
 		return nil, err
 	}
 	p.Model = p.Model.WithDefaults()
-	rng := stats.NewRand(p.Seed)
 	pstar := unaligned.PStarForEdgeProbability(p.CoreP1, p.Model.RowPairs)
 	_, p2 := p.Model.EdgeProbabilities(pstar, p.G)
 	res := &AblationSamplingResult{Params: p}
-	for _, rate := range p.Rates {
-		var sumRecall float64
-		for t := 0; t < p.Trials; t++ {
+	for ri, rate := range p.Rates {
+		recallSlots := make([]float64, p.Trials)
+		err := forEachTrial(p.Seed, uint64(ri), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 			g, pattern := p.Model.SamplePlanted(rng, p.CoreP1, p2, p.N1)
 			inPattern := make(map[int]bool, len(pattern))
 			for _, v := range pattern {
@@ -298,7 +328,7 @@ func RunAblationSampling(p AblationSamplingParams) (*AblationSamplingResult, err
 				var err error
 				found, err = unaligned.FindPattern(g, unaligned.PatternConfig{Beta: p.N1 / 2, D: p.D})
 				if err != nil {
-					return nil, err
+					return err
 				}
 			} else {
 				// Core within the sample, expansion over the full graph.
@@ -331,7 +361,15 @@ func RunAblationSampling(p AblationSamplingParams) (*AblationSamplingResult, err
 					tp++
 				}
 			}
-			sumRecall += float64(tp) / float64(p.N1)
+			recallSlots[t] = float64(tp) / float64(p.N1)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sumRecall float64
+		for _, r := range recallSlots {
+			sumRecall += r
 		}
 		res.Rows = append(res.Rows, AblationSamplingRow{
 			Rate:         rate,

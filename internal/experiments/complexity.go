@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"dcstream/internal/aligned"
-	"dcstream/internal/stats"
 )
 
 // ComplexityParams sizes the naive-vs-refined runtime comparison (§III-B's
@@ -19,6 +19,10 @@ type ComplexityParams struct {
 	ColValues          []int
 	PatternA, PatternB int
 	Trials             int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial). Detection results are identical at every setting; only the
+	// wall-time columns vary.
+	Workers int
 }
 
 // ComplexityParamsFor returns the experiment sizing for a scale.
@@ -60,9 +64,8 @@ func RunComplexity(p ComplexityParams) (*ComplexityResult, error) {
 	if p.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: complexity needs positive trials")
 	}
-	rng := stats.NewRand(p.Seed)
 	res := &ComplexityResult{Params: p}
-	for _, n := range p.ColValues {
+	for ci, n := range p.ColValues {
 		t2, err := aligned.Theorem2(aligned.Theorem2Inputs{
 			Rows: p.Rows, Cols: n, PatternA: p.PatternA, PatternB: p.PatternB,
 		})
@@ -77,29 +80,48 @@ func RunComplexity(p ComplexityParams) (*ComplexityResult, error) {
 			subset = n
 		}
 		row := ComplexityRow{Cols: n, SubsetSize: subset}
-		var naiveTime, refinedTime time.Duration
-		var naiveHits, refinedHits int
-		for t := 0; t < p.Trials; t++ {
+		type trialOut struct {
+			naiveTime, refinedTime time.Duration
+			naiveHit, refinedHit   bool
+		}
+		outs := make([]trialOut, p.Trials)
+		err = forEachTrial(p.Seed, uint64(ci), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 			m := aligned.RandomMatrix(rng, p.Rows, n)
 			rows, _ := m.PlantPattern(rng, p.PatternA, p.PatternB)
 
+			naiveCfg := aligned.NaiveConfig(n)
+			naiveCfg.Workers = serialDetector
 			start := time.Now()
-			naive, err := aligned.Detect(m, aligned.NaiveConfig(n))
-			naiveTime += time.Since(start)
+			naive, err := aligned.Detect(m, naiveCfg)
+			outs[t].naiveTime = time.Since(start)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if naive.Found && patternRecovered(naive.Rows, rows) {
+			outs[t].naiveHit = naive.Found && patternRecovered(naive.Rows, rows)
+
+			refinedCfg := aligned.RefinedConfig(subset)
+			refinedCfg.Workers = serialDetector
+			start = time.Now()
+			refined, err := aligned.Detect(m, refinedCfg)
+			outs[t].refinedTime = time.Since(start)
+			if err != nil {
+				return err
+			}
+			outs[t].refinedHit = refined.Found && patternRecovered(refined.Rows, rows)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var naiveTime, refinedTime time.Duration
+		var naiveHits, refinedHits int
+		for _, o := range outs {
+			naiveTime += o.naiveTime
+			refinedTime += o.refinedTime
+			if o.naiveHit {
 				naiveHits++
 			}
-
-			start = time.Now()
-			refined, err := aligned.Detect(m, aligned.RefinedConfig(subset))
-			refinedTime += time.Since(start)
-			if err != nil {
-				return nil, err
-			}
-			if refined.Found && patternRecovered(refined.Rows, rows) {
+			if o.refinedHit {
 				refinedHits++
 			}
 		}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDriversWorkerIndependent pins the determinism contract of the trial
+// runner: every seeded Run* driver must return bit-identical results at any
+// Workers setting, because per-trial rngs are sub-seeded by (seed, stream,
+// trial) rather than by consumption order. Wall-clock fields and the Workers
+// knob itself are zeroed before comparison; everything else must match
+// exactly. Run under -race this also exercises the strided trial fan-out.
+func TestDriversWorkerIndependent(t *testing.T) {
+	const seed = 11
+	cases := []struct {
+		name string
+		run  func(workers int) (any, error)
+	}{
+		{"complexity", func(w int) (any, error) {
+			p := ComplexityParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunComplexity(p)
+			if r != nil {
+				r.Params.Workers = 0
+				for i := range r.Rows {
+					r.Rows[i].NaiveMillis, r.Rows[i].RefinedMillis = 0, 0
+				}
+			}
+			return r, err
+		}},
+		{"fig7", func(w int) (any, error) {
+			p := Fig7ParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunFig7(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"fig11", func(w int) (any, error) {
+			p := Fig11ParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunFig11(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"fig13", func(w int) (any, error) {
+			p := Fig13ParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunFig13(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"table1", func(w int) (any, error) {
+			p := Table1ParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunTable1(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"table3", func(w int) (any, error) {
+			p := Table3ParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunTable3(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"stress", func(w int) (any, error) {
+			p := StressParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunStress(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"persistence", func(w int) (any, error) {
+			p := PersistenceParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunPersistence(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"ablation-offsets", func(w int) (any, error) {
+			p := AblationOffsetsParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunAblationOffsets(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+		{"ablation-hopefuls", func(w int) (any, error) {
+			p := AblationHopefulsParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunAblationHopefuls(p)
+			if r != nil {
+				r.Params.Workers = 0
+				for i := range r.Rows {
+					r.Rows[i].MeanMillis = 0
+				}
+			}
+			return r, err
+		}},
+		{"ablation-sampling", func(w int) (any, error) {
+			p := AblationSamplingParamsFor(seed, ScaleTest)
+			p.Workers = w
+			r, err := RunAblationSampling(p)
+			if r != nil {
+				r.Params.Workers = 0
+			}
+			return r, err
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := tc.run(1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			parallel, err := tc.run(3)
+			if err != nil {
+				t.Fatalf("workers=3: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("result depends on worker count:\nworkers=1: %+v\nworkers=3: %+v", serial, parallel)
+			}
+		})
+	}
+}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dcstream/internal/aligned"
-	"dcstream/internal/stats"
 )
 
 // Fig11Params sizes the detection-ratio experiment (Figure 11): for each
@@ -18,6 +18,9 @@ type Fig11Params struct {
 	AValues              []int // x-axis: number of routers seeing the content
 	BValues              []int // one curve per content length
 	Trials               int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // Fig11ParamsFor returns the experiment sizing for a scale.
@@ -56,27 +59,35 @@ type Fig11Result struct {
 
 // RunFig11 executes the experiment.
 func RunFig11(p Fig11Params) (*Fig11Result, error) {
-	rng := stats.NewRand(p.Seed)
 	det := aligned.DetectableConfig{Rows: p.Rows, Cols: p.Cols, SubsetSize: p.SubsetSize}
 	res := &Fig11Result{Params: p}
-	for _, b := range p.BValues {
-		for _, a := range p.AValues {
-			hits := 0
-			for t := 0; t < p.Trials; t++ {
+	for bi, b := range p.BValues {
+		for ai, a := range p.AValues {
+			hitSlots := make([]bool, p.Trials)
+			err := forEachTrial(p.Seed, uint64(bi)<<32|uint64(ai), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 				vs, err := aligned.SampleHeavyColumns(rng, aligned.VirtualConfig{
 					Rows: p.Rows, Cols: p.Cols, SubsetSize: p.SubsetSize,
 					PatternRows: a, PatternCols: b,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				cfg := aligned.RefinedConfig(p.SubsetSize)
 				cfg.Hopefuls = p.Hopefuls
+				cfg.Workers = serialDetector
 				d, err := aligned.Detect(vs.Matrix, cfg)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				if d.Found && patternRecovered(d.Rows, vs.PatternRowSet) {
+				hitSlots[t] = d.Found && patternRecovered(d.Rows, vs.PatternRowSet)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			hits := 0
+			for _, h := range hitSlots {
+				if h {
 					hits++
 				}
 			}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
-	"dcstream/internal/stats"
 	"dcstream/internal/unaligned"
 )
 
@@ -24,6 +24,9 @@ type Fig13Params struct {
 	N1Values  []int
 	Trials    int
 	Threshold int // decision boundary on the largest component
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // Fig13ParamsFor returns the experiment sizing for a scale.
@@ -81,37 +84,46 @@ func RunFig13(p Fig13Params) (*Fig13Result, error) {
 	if p.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: Fig13 needs positive trials")
 	}
-	rng := stats.NewRand(p.Seed)
 	pstar := unaligned.PStarForEdgeProbability(p.P1, p.Model.RowPairs)
 	_, p2 := p.Model.EdgeProbabilities(pstar, p.G)
 
 	res := &Fig13Result{Params: p, P2: p2, FalseNegative: map[int]float64{}}
-	run := func(n1 int) Fig13Series {
-		s := Fig13Series{N1: n1}
-		hits := 0
-		for t := 0; t < p.Trials; t++ {
-			var lc int
+	run := func(cond int, n1 int) (Fig13Series, error) {
+		s := Fig13Series{N1: n1, Components: make([]int, p.Trials)}
+		err := forEachTrial(p.Seed, uint64(cond), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 			if n1 == 0 {
-				lc = p.Model.SampleNull(rng, p.P1).LargestComponent()
+				s.Components[t] = p.Model.SampleNull(rng, p.P1).LargestComponent()
 			} else {
 				g, _ := p.Model.SamplePlanted(rng, p.P1, p2, n1)
-				lc = g.LargestComponent()
+				s.Components[t] = g.LargestComponent()
 			}
-			s.Components = append(s.Components, lc)
+			return nil
+		})
+		if err != nil {
+			return s, err
+		}
+		hits := 0
+		for _, lc := range s.Components {
 			if lc >= p.Threshold {
 				hits++
 			}
 		}
 		sort.Ints(s.Components)
 		s.DetectRate = float64(hits) / float64(p.Trials)
-		return s
+		return s, nil
 	}
 
-	null := run(0)
+	null, err := run(0, 0)
+	if err != nil {
+		return nil, err
+	}
 	res.Series = append(res.Series, null)
 	res.FalsePositive = null.DetectRate
-	for _, n1 := range p.N1Values {
-		s := run(n1)
+	for i, n1 := range p.N1Values {
+		s, err := run(i+1, n1)
+		if err != nil {
+			return nil, err
+		}
 		res.Series = append(res.Series, s)
 		res.FalseNegative[n1] = 1 - s.DetectRate
 	}

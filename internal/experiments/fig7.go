@@ -17,6 +17,9 @@ type Fig7Params struct {
 	SubsetSize, Hopefuls int
 	PatternA, PatternB   int
 	MaxIterations        int
+	// Workers parallelizes the detector's level scan (0 = GOMAXPROCS,
+	// negative = serial); the trace is identical at every setting.
+	Workers int
 }
 
 // Fig7TestParams shrinks the instance for unit tests.
@@ -80,6 +83,7 @@ func RunFig7(p Fig7Params) (*Fig7Result, error) {
 	cfg.Hopefuls = p.Hopefuls
 	cfg.MaxIterations = p.MaxIterations
 	cfg.FullTrace = true
+	cfg.Workers = p.Workers
 	det, err := aligned.Detect(vs.Matrix, cfg)
 	if err != nil {
 		return nil, err

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
-	"dcstream/internal/stats"
 	"dcstream/internal/unaligned"
 )
 
@@ -25,6 +25,9 @@ type PersistenceParams struct {
 	Window    int
 	MinHits   int
 	Trials    int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // PersistenceParamsFor returns the experiment sizing for a scale.
@@ -79,7 +82,6 @@ func RunPersistence(p PersistenceParams) (*PersistenceResult, error) {
 	if p.Trials <= 0 || p.Epochs <= 0 {
 		return nil, fmt.Errorf("experiments: persistence needs positive trials and epochs")
 	}
-	rng := stats.NewRand(p.Seed)
 	pstar := unaligned.PStarForEdgeProbability(p.P1, p.Model.RowPairs)
 	_, p2 := p.Model.EdgeProbabilities(pstar, p.G)
 
@@ -87,27 +89,38 @@ func RunPersistence(p PersistenceParams) (*PersistenceResult, error) {
 		Params:            p,
 		CumulativeByEpoch: make([]float64, p.Epochs),
 	}
-	detections, latencySum, alarmed := 0, 0, 0
-	for t := 0; t < p.Trials; t++ {
-		first := -1
+	type trialOut struct {
+		first int // first-alarm epoch, -1 if never
+		hits  int
+	}
+	outs := make([]trialOut, p.Trials)
+	err := forEachTrial(p.Seed, 0, p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
+		outs[t].first = -1
 		for e := 0; e < p.Epochs; e++ {
 			// Each epoch draws fresh digests, hence a fresh graph; the
 			// pattern vertices persist but their random overlaps redraw.
 			g, _ := p.Model.SamplePlanted(rng, p.P1, p2, p.N1)
-			hit := unaligned.ERTest(g, p.Threshold).PatternDetected
-			if hit {
-				detections++
-				if first < 0 {
-					first = e
+			if unaligned.ERTest(g, p.Threshold).PatternDetected {
+				outs[t].hits++
+				if outs[t].first < 0 {
+					outs[t].first = e
 				}
 			}
-			if first >= 0 {
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	detections, latencySum, alarmed := 0, 0, 0
+	for _, o := range outs {
+		detections += o.hits
+		if o.first >= 0 {
+			alarmed++
+			latencySum += o.first + 1
+			for e := o.first; e < p.Epochs; e++ {
 				res.CumulativeByEpoch[e]++
 			}
-		}
-		if first >= 0 {
-			alarmed++
-			latencySum += first + 1
 		}
 	}
 	for e := range res.CumulativeByEpoch {

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"dcstream/internal/stats"
+)
+
+// forEachTrial fans the trials of one Monte-Carlo cell out over workers
+// goroutines. Each trial gets its own deterministic rng derived from (seed,
+// stream, trial) by two levels of splitmix64 sub-seeding, so the random
+// stream each trial consumes — and therefore everything a caller records
+// into per-trial slots — is a pure function of the parameters, independent
+// of worker count and goroutine scheduling. stream distinguishes the cells
+// of one experiment; encode grid coordinates into it (e.g. row<<32|col) so
+// no two cells share trial streams.
+//
+// workers == 0 means GOMAXPROCS; negative means serial. Callers must write
+// results into per-trial slots (never append from fn) and must not share an
+// rng across trials. When fn fails, the error of the lowest trial index is
+// returned — again independent of scheduling, though under workers > 1
+// later trials may still have run.
+func forEachTrial(seed, stream uint64, trials, workers int, fn func(trial int, rng *rand.Rand) error) error {
+	base := stats.SubSeed(seed, stream)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 2 {
+		for t := 0; t < trials; t++ {
+			if err := fn(t, stats.NewRand(stats.SubSeed(base, uint64(t)))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := w; t < trials; t += workers {
+				errs[t] = fn(t, stats.NewRand(stats.SubSeed(base, uint64(t))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serialDetector marks a detector configuration used inside an already
+// trial-parallel loop: the trial fan-out is the coarser, better-scaling
+// parallel axis, so the nested level scan stays serial rather than
+// oversubscribing the scheduler.
+const serialDetector = -1

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dcstream/internal/simulate"
 	"dcstream/internal/unaligned"
@@ -28,6 +29,9 @@ type StressParams struct {
 	TargetRecall      float64
 	Beta              int
 	D                 int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // StressParamsFor returns the experiment sizing for a scale. Even at
@@ -102,10 +106,15 @@ func RunStress(p StressParams) (*StressResult, error) {
 			if carriers > p.Routers {
 				return nil, fmt.Errorf("experiments: %d carriers exceed %d routers", carriers, p.Routers)
 			}
-			var sumRecall, sumPrec, sumER float64
-			for t := 0; t < p.Trials; t++ {
+			type trialOut struct{ recall, prec, er float64 }
+			outs := make([]trialOut, p.Trials)
+			burstyBit := uint64(0)
+			if bursty {
+				burstyBit = 1
+			}
+			err := forEachTrial(p.Seed, burstyBit<<32|uint64(carriers), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 				sc := simulate.UnalignedScenario{
-					Seed:              p.Seed + uint64(1000*carriers+t),
+					Seed:              rng.Uint64(),
 					Routers:           p.Routers,
 					Collector:         p.Collector,
 					BackgroundPackets: p.BackgroundPackets,
@@ -118,24 +127,24 @@ func RunStress(p StressParams) (*StressResult, error) {
 				}
 				run, err := simulate.RunUnaligned(sc)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				gm, err := unaligned.Merge(run.Digests)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				p1 := 0.5 / float64(n)
 				lt, err := unaligned.NewLambdaTable(p.Collector.ArrayBits,
 					unaligned.PStarForEdgeProbability(p1, p.Collector.ArraysPerGroup*p.Collector.ArraysPerGroup))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				g, err := gm.BuildGraph(lt)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if unaligned.ERTest(g, carriers/2+2).PatternDetected {
-					sumER++
+					outs[t].er = 1
 				}
 				b := beta
 				if b == 0 {
@@ -146,7 +155,7 @@ func RunStress(p StressParams) (*StressResult, error) {
 				}
 				found, err := unaligned.FindPattern(g, unaligned.PatternConfig{Beta: b, D: p.D})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				truth := make(map[unaligned.Vertex]bool, len(run.CarrierVertices))
 				for _, v := range run.CarrierVertices {
@@ -158,10 +167,20 @@ func RunStress(p StressParams) (*StressResult, error) {
 						tp++
 					}
 				}
-				sumRecall += float64(tp) / float64(carriers)
+				outs[t].recall = float64(tp) / float64(carriers)
 				if len(found) > 0 {
-					sumPrec += float64(tp) / float64(len(found))
+					outs[t].prec = float64(tp) / float64(len(found))
 				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var sumRecall, sumPrec, sumER float64
+			for _, o := range outs {
+				sumRecall += o.recall
+				sumPrec += o.prec
+				sumER += o.er
 			}
 			cell := StressCell{
 				Bursty:    bursty,

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
-	"dcstream/internal/stats"
 	"dcstream/internal/unaligned"
 )
 
@@ -22,6 +22,9 @@ type Table1Params struct {
 	// BetaFraction and D parameterize the detector: Beta = n1·BetaFraction.
 	BetaFraction float64
 	D            int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting.
+	Workers int
 }
 
 // Table1Cell names one (g, n1) evaluation point.
@@ -89,21 +92,21 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 	if p.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: Table1 needs positive trials")
 	}
-	rng := stats.NewRand(p.Seed)
 	pstar := unaligned.PStarForEdgeProbability(p.CoreP1, p.Model.RowPairs)
 	res := &Table1Result{Params: p}
-	for _, cell := range p.Cells {
+	for cellIdx, cell := range p.Cells {
 		_, p2 := p.Model.EdgeProbabilities(pstar, cell.G)
 		beta := int(p.BetaFraction * float64(cell.N1))
 		if beta < 4 {
 			beta = 4
 		}
-		var sumSize, sumTrue, sumFN, sumFP float64
-		for t := 0; t < p.Trials; t++ {
+		type trialOut struct{ size, tp, fn, fp float64 }
+		outs := make([]trialOut, p.Trials)
+		err := forEachTrial(p.Seed, uint64(cellIdx), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 			g, pattern := p.Model.SamplePlanted(rng, p.CoreP1, p2, cell.N1)
 			found, err := unaligned.FindPattern(g, unaligned.PatternConfig{Beta: beta, D: p.D})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			inPattern := make(map[int]bool, len(pattern))
 			for _, v := range pattern {
@@ -115,12 +118,23 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 					tp++
 				}
 			}
-			sumSize += float64(len(found))
-			sumTrue += float64(tp)
-			sumFN += 1 - float64(tp)/float64(cell.N1)
+			outs[t].size = float64(len(found))
+			outs[t].tp = float64(tp)
+			outs[t].fn = 1 - float64(tp)/float64(cell.N1)
 			if len(found) > 0 {
-				sumFP += float64(len(found)-tp) / float64(len(found))
+				outs[t].fp = float64(len(found)-tp) / float64(len(found))
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sumSize, sumTrue, sumFN, sumFP float64
+		for _, o := range outs {
+			sumSize += o.size
+			sumTrue += o.tp
+			sumFN += o.fn
+			sumFP += o.fp
 		}
 		n := float64(p.Trials)
 		res.Rows = append(res.Rows, Table1Row{

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
-	"dcstream/internal/stats"
 	"dcstream/internal/unaligned"
 )
 
@@ -22,6 +22,11 @@ type Table3Params struct {
 	BetaFraction float64
 	D            int
 	MaxN1        int
+	// Workers fans trials out over goroutines (0 = GOMAXPROCS, negative =
+	// serial); results are identical at every setting. Trial streams are
+	// keyed by (g, n1), so the adaptive search visits identical samples in
+	// any order.
+	Workers int
 }
 
 // Table3ParamsFor returns the experiment sizing for a scale.
@@ -77,10 +82,9 @@ func RunTable3(p Table3Params) (*Table3Result, error) {
 		return nil, err
 	}
 	p.Model = p.Model.WithDefaults()
-	rng := stats.NewRand(p.Seed)
 	pstar := unaligned.PStarForEdgeProbability(p.CoreP1, p.Model.RowPairs)
 	res := &Table3Result{Params: p}
-	for _, g := range p.GValues {
+	for gi, g := range p.GValues {
 		_, p2 := p.Model.EdgeProbabilities(pstar, g)
 		row := Table3Row{G: g, DetectableN1: -1}
 
@@ -89,12 +93,13 @@ func RunTable3(p Table3Params) (*Table3Result, error) {
 			if beta < 4 {
 				beta = 4
 			}
-			var sumRecall, sumSize float64
-			for t := 0; t < p.Trials; t++ {
+			type trialOut struct{ recall, size float64 }
+			outs := make([]trialOut, p.Trials)
+			err = forEachTrial(p.Seed, uint64(gi)<<32|uint64(n1), p.Trials, p.Workers, func(t int, rng *rand.Rand) error {
 				gr, pattern := p.Model.SamplePlanted(rng, p.CoreP1, p2, n1)
 				found, err := unaligned.FindPattern(gr, unaligned.PatternConfig{Beta: beta, D: p.D})
 				if err != nil {
-					return 0, 0, err
+					return err
 				}
 				inPattern := make(map[int]bool, len(pattern))
 				for _, v := range pattern {
@@ -106,8 +111,16 @@ func RunTable3(p Table3Params) (*Table3Result, error) {
 						tp++
 					}
 				}
-				sumRecall += float64(tp) / float64(n1)
-				sumSize += float64(len(found))
+				outs[t] = trialOut{recall: float64(tp) / float64(n1), size: float64(len(found))}
+				return nil
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			var sumRecall, sumSize float64
+			for _, o := range outs {
+				sumRecall += o.recall
+				sumSize += o.size
 			}
 			n := float64(p.Trials)
 			return sumRecall / n, sumSize / n, nil

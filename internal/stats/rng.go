@@ -35,6 +35,17 @@ func NewRand(seed uint64) *rand.Rand {
 	return rand.New(&splitmix64{state: seed})
 }
 
+// SubSeed derives an independent stream seed from a base seed and a stream
+// index: it is exactly the stream-th output of the SplitMix64 sequence
+// started at seed, computed in O(1) via the generator's additive state.
+// Nearby (seed, stream) pairs yield well-separated values, so experiment
+// drivers can carve one user-facing seed into per-cell and per-trial streams
+// whose order of consumption no longer matters.
+func SubSeed(seed, stream uint64) uint64 {
+	s := splitmix64{state: seed + stream*0x9e3779b97f4a7c15}
+	return s.Uint64()
+}
+
 // SampleDistinct returns k distinct integers drawn uniformly from [0, n),
 // in no particular order. It panics if k > n or either is negative.
 // For k much smaller than n it uses rejection against a set; otherwise a

@@ -2,6 +2,7 @@ package unaligned
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -104,16 +105,24 @@ func (gm *GroupMatrix) BuildGraph(lambda *LambdaTable) (*graph.Graph, error) {
 
 // BuildGraphParallel is BuildGraph with the O(k²·n²) correlation pass
 // spread over the given number of goroutines (§IV-D's third remedy: the
-// work is embarrassingly parallel). workers < 2 falls back to the serial
-// path; the result is identical either way.
+// work is embarrassingly parallel). workers == 0 means GOMAXPROCS; negative
+// values and 1 fall back to the serial path; counts above the vertex count
+// are clamped (the extra goroutines would only idle). The result is
+// identical at every setting.
 func (gm *GroupMatrix) BuildGraphParallel(lambda *LambdaTable, workers int) (*graph.Graph, error) {
+	n := len(gm.vertices)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	if workers < 2 {
 		return gm.BuildGraph(lambda)
 	}
 	if lambda.N() != gm.arrayBits {
 		return nil, fmt.Errorf("unaligned: λ table width %d, matrix width %d", lambda.N(), gm.arrayBits)
 	}
-	n := len(gm.vertices)
 	type edge struct{ u, v int32 }
 	results := make([][]edge, workers)
 	var wg sync.WaitGroup
@@ -168,13 +177,25 @@ func (gm *GroupMatrix) BuildGraphSampled(lambda *LambdaTable, sample []int) (*gr
 }
 
 // correlated reports whether the maximal row-pair overlap between vertices u
-// and v exceeds the λ threshold for the respective row weights.
+// and v exceeds the λ threshold for the respective row weights. Two layers
+// of early exit keep the common (uncorrelated) case cheap: the overlap can
+// never exceed the lighter row's weight, so pairs with min(wu,wv) ≤ λ are
+// rejected without touching the bitmaps at all, and the remaining pairs only
+// need the threshold decision, not the exact count.
 func (gm *GroupMatrix) correlated(u, v int, lambda *LambdaTable) bool {
 	ru, rv := gm.rows[u], gm.rows[v]
 	wu, wv := gm.weights[u], gm.weights[v]
 	for a := range ru {
 		for b := range rv {
-			if bitvec.AndCount(ru[a], rv[b]) > lambda.Threshold(wu[a], wv[b]) {
+			t := lambda.Threshold(wu[a], wv[b])
+			minW := wu[a]
+			if wv[b] < minW {
+				minW = wv[b]
+			}
+			if minW <= t {
+				continue
+			}
+			if bitvec.AndCountAtLeast(ru[a], rv[b], t+1) {
 				return true
 			}
 		}

@@ -2,6 +2,7 @@ package unaligned
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"dcstream/internal/bitvec"
@@ -427,7 +428,10 @@ func TestBuildGraphParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 2, 3, 8} {
+	// Beyond small fixed counts, cover the clamp paths: 0 (GOMAXPROCS
+	// default), negative (serial fallback), GOMAXPROCS itself, and a count
+	// far above the vertex total.
+	for _, workers := range []int{1, 2, 3, 8, 0, -4, runtime.GOMAXPROCS(0), 1 << 16} {
 		par, err := gm.BuildGraphParallel(lt, workers)
 		if err != nil {
 			t.Fatal(err)
