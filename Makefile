@@ -42,10 +42,12 @@ bench-json:
 
 # Fault-injection tier: the chaos-proxy integration tests (crash recovery
 # through a corrupting link, quorum under partition, eventual delivery and
-# CRC integrity) plus the journal and duplicate/eviction corners. All chaos
-# schedules are seeded in the tests themselves, so the run is reproducible.
+# CRC integrity) plus the journal, duplicate/eviction corners, and the
+# mid-chaos /metrics scrape (exposition must parse and counters stay
+# monotone while ingest churns). All chaos schedules are seeded in the tests
+# themselves, so the run is reproducible.
 chaos:
-	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep' \
+	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape' \
 		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/...
 
 # Short fuzz of the two crash/byte-level decoders: the transport wire reader

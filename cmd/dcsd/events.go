@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"dcstream/internal/center"
+)
+
+// epochEvent is one line of the -events log: a machine-readable record of
+// one analyzed epoch, mirroring what report() logs for humans.
+type epochEvent struct {
+	Epoch          int             `json:"epoch"`
+	Routers        int             `json:"routers"`
+	Degraded       bool            `json:"degraded"`
+	MissingRouters []int           `json:"missing_routers,omitempty"`
+	Aligned        *alignedEvent   `json:"aligned,omitempty"`
+	Unaligned      *unalignedEvent `json:"unaligned,omitempty"`
+	// WallMS is the wall-clock analysis latency for this window in
+	// milliseconds (ingest buffering time excluded — that lives in the
+	// dcs_center_ingest_to_analyze_seconds histogram).
+	WallMS float64 `json:"wall_ms"`
+}
+
+type alignedEvent struct {
+	Found      bool  `json:"found"`
+	Routers    []int `json:"routers,omitempty"`
+	CommonCols int   `json:"common_packets"`
+	CoreCols   int   `json:"core_packets"`
+}
+
+type unalignedEvent struct {
+	Detected         bool  `json:"detected"`
+	LargestComponent int   `json:"largest_component"`
+	Threshold        int   `json:"threshold"`
+	Vertices         int   `json:"vertices"`
+	Routers          []int `json:"routers,omitempty"`
+}
+
+// eventLog appends one JSON object per analyzed epoch to a writer. Safe for
+// concurrent use; each event is a single Encode call, so lines never
+// interleave.
+type eventLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder // guarded by mu
+	c   io.Closer     // nil when the sink needs no close (stdout, tests)
+}
+
+// openEventLog opens the -events sink: "-" selects stdout, anything else is
+// opened (created if needed) in append mode so restarts extend the log.
+func openEventLog(path string) (*eventLog, error) {
+	if path == "-" {
+		return &eventLog{enc: json.NewEncoder(os.Stdout)}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("events: open %s: %w", path, err)
+	}
+	return &eventLog{enc: json.NewEncoder(f), c: f}, nil
+}
+
+// newEventLog wraps an arbitrary writer (tests).
+func newEventLog(w io.Writer) *eventLog { return &eventLog{enc: json.NewEncoder(w)} }
+
+// emit writes one epoch's event.
+func (l *eventLog) emit(rep center.WindowReport, wall time.Duration) error {
+	ev := epochEvent{
+		Epoch:          rep.Epoch,
+		Routers:        rep.Routers,
+		Degraded:       rep.Degraded,
+		MissingRouters: rep.MissingRouters,
+		WallMS:         float64(wall.Microseconds()) / 1e3,
+	}
+	if a := rep.Aligned; a != nil {
+		ev.Aligned = &alignedEvent{
+			Found:      a.Detection.Found,
+			Routers:    a.RouterIDs,
+			CommonCols: len(a.Detection.Cols),
+			CoreCols:   len(a.Detection.CoreCols),
+		}
+	}
+	if u := rep.Unaligned; u != nil {
+		ev.Unaligned = &unalignedEvent{
+			Detected:         u.ER.PatternDetected,
+			LargestComponent: u.ER.LargestComponent,
+			Threshold:        u.ER.Threshold,
+			Vertices:         u.Vertices,
+			Routers:          u.Routers,
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(ev)
+}
+
+// Close closes the underlying file, if any. Nil receivers are fine so call
+// sites don't have to guard the no -events case.
+func (l *eventLog) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	return l.c.Close()
+}

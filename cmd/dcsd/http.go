@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"dcstream/internal/center"
+	"dcstream/internal/metrics"
+)
+
+// epochHealth is one buffered epoch's quorum state as /healthz reports it.
+type epochHealth struct {
+	Epoch    int   `json:"epoch"`
+	Digests  int   `json:"digests"`
+	Reported int   `json:"reported"`
+	Missing  []int `json:"missing,omitempty"`
+	Held     bool  `json:"held"`
+}
+
+// health is the /healthz payload: the daemon is "ok" whenever it can answer,
+// and the per-epoch list is what an operator (or a probe with jq) reads to
+// see which windows the quorum gate is holding and why.
+type health struct {
+	Status string        `json:"status"`
+	Epochs []epochHealth `json:"epochs"`
+}
+
+// newHTTPHandler builds the -http endpoint surface: /metrics (Prometheus
+// text exposition of the registry), /healthz (quorum state per buffered
+// epoch), and /debug/pprof (the standard Go profiler handlers).
+func newHTTPHandler(reg *metrics.Registry, c *center.Center) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		counts := c.EpochDigests()
+		h := health{Status: "ok", Epochs: []epochHealth{}}
+		for _, e := range c.Epochs() {
+			q := c.Quorum(e)
+			h.Epochs = append(h.Epochs, epochHealth{
+				Epoch:    e,
+				Digests:  counts[e],
+				Reported: q.Reported,
+				Missing:  q.Missing,
+				Held:     q.Hold,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// An encode error here means the probe hung up mid-response; there
+		// is no one left on the connection to tell.
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

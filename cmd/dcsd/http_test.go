@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/center"
+	"dcstream/internal/metrics"
+	"dcstream/internal/transport"
+)
+
+func testBitmap(seed uint64) *bitvec.Vector {
+	v := bitvec.New(256)
+	s := seed
+	v.FillRandomHalf(func() uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return s
+	})
+	return v
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	c := center.New(center.Config{MinRouters: 2, MaxWait: 4})
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 5, Bitmap: testBitmap(1)})
+	c.Ingest(transport.AlignedDigest{RouterID: 2, Epoch: 5, Bitmap: testBitmap(2)})
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 6, Bitmap: testBitmap(3)})
+
+	ts := httptest.NewServer(newHTTPHandler(reg, c))
+	defer ts.Close()
+
+	// /metrics must parse and agree with the Stats snapshot.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if got := samples["dcs_center_digests_ingested_total"]; got != 3 {
+		t.Fatalf("exposition says %v digests ingested, want 3", got)
+	}
+	if got := samples["dcs_center_buffered_epochs"]; got != 2 {
+		t.Fatalf("exposition says %v buffered epochs, want 2", got)
+	}
+	// Epoch 6 has 1 of 2 known-live routers: the quorum gate holds it.
+	if got := samples["dcs_center_quorum_held_epochs"]; got != 1 {
+		t.Fatalf("exposition says %v quorum-held epochs, want 1", got)
+	}
+
+	// /healthz must report both buffered epochs with their quorum state.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz content-type %q", ct)
+	}
+	var h health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("healthz does not decode: %v", err)
+	}
+	if h.Status != "ok" || len(h.Epochs) != 2 {
+		t.Fatalf("healthz = %+v, want status ok with 2 epochs", h)
+	}
+	byEpoch := map[int]epochHealth{}
+	for _, e := range h.Epochs {
+		byEpoch[e.Epoch] = e
+	}
+	if e := byEpoch[5]; e.Digests != 2 || e.Reported != 2 || e.Held {
+		t.Fatalf("healthz epoch 5 = %+v, want 2 digests, 2 reported, not held", e)
+	}
+	if e := byEpoch[6]; e.Digests != 1 || !e.Held || len(e.Missing) != 1 || e.Missing[0] != 2 {
+		t.Fatalf("healthz epoch 6 = %+v, want 1 digest, held, missing router 2", e)
+	}
+
+	// /debug/pprof must answer (the index page is enough — profiles block).
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}

@@ -18,6 +18,12 @@
 // journal as they are analyzed and their segments deleted once fully
 // covered, bounding disk use to the in-flight windows.
 //
+// With -http <addr> the daemon serves /metrics (Prometheus text exposition
+// of every transport/center/journal counter), /healthz (JSON quorum state
+// per buffered epoch) and /debug/pprof. With -events <path> it appends one
+// JSON object per analyzed epoch ("-" writes to stdout) — a machine-readable
+// companion to the human-oriented log lines.
+//
 // With -min-routers N the quiescence close is quorum-gated: an epoch that
 // fewer than N routers have reported into is held open while known-live
 // routers are still missing, up to -max-wait epochs (and at most -max-wait
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +47,7 @@ import (
 
 	"dcstream/internal/center"
 	"dcstream/internal/journal"
+	"dcstream/internal/metrics"
 	"dcstream/internal/transport"
 )
 
@@ -71,10 +79,16 @@ func report(rep center.WindowReport) {
 	}
 }
 
-// finish reports one analyzed window and, when journaling, marks its epoch
-// analyzed so the journal can rotate and purge its frames.
-func finish(jr *journal.Journal, rep center.WindowReport) {
+// finish reports one analyzed window (to the log and, when -events is set,
+// the event log) and, when journaling, marks its epoch analyzed so the
+// journal can rotate and purge its frames.
+func finish(jr *journal.Journal, ev *eventLog, rep center.WindowReport, wall time.Duration) {
 	report(rep)
+	if ev != nil {
+		if err := ev.emit(rep, wall); err != nil {
+			log.Printf("events: epoch %d: %v", rep.Epoch, err)
+		}
+	}
 	if jr != nil {
 		if err := jr.EpochAnalyzed(rep.Epoch); err != nil {
 			log.Printf("journal: marking epoch %d analyzed: %v", rep.Epoch, err)
@@ -82,19 +96,21 @@ func finish(jr *journal.Journal, rep center.WindowReport) {
 	}
 }
 
-func analyzeEpoch(c *center.Center, jr *journal.Journal, epoch int) {
+func analyzeEpoch(c *center.Center, jr *journal.Journal, ev *eventLog, epoch int) {
+	start := time.Now()
 	rep, err := c.Analyze(epoch)
 	if err != nil {
 		log.Printf("epoch %d analysis: %v", epoch, err)
 		return
 	}
-	finish(jr, rep)
+	finish(jr, ev, rep, time.Since(start))
 }
 
 // drainComplete analyzes every epoch already superseded by a newer one (and
 // not held open by the quorum gate).
-func drainComplete(c *center.Center, jr *journal.Journal) {
+func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog) {
 	for {
+		start := time.Now()
 		rep, err := c.AnalyzeLatestComplete()
 		if err != nil {
 			if !errors.Is(err, center.ErrNoCompleteEpoch) {
@@ -102,7 +118,7 @@ func drainComplete(c *center.Center, jr *journal.Journal) {
 			}
 			return
 		}
-		finish(jr, rep)
+		finish(jr, ev, rep, time.Since(start))
 	}
 }
 
@@ -131,6 +147,8 @@ func main() {
 		journalSync = flag.Bool("journal-sync", true, "fsync the journal after every append (crash-safe but slower)")
 		minRouters  = flag.Int("min-routers", 0, "quorum: hold an epoch open until this many routers reported (0 = off)")
 		maxWait     = flag.Int("max-wait", 2, "epochs (and idle ticks) a below-quorum window may be held open")
+		httpAddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+		eventsPath  = flag.String("events", "", `append one JSON event per analyzed epoch to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -144,6 +162,23 @@ func main() {
 		MinRouters:         *minRouters,
 		MaxWait:            *maxWait,
 	})
+
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	var ev *eventLog
+	if *eventsPath != "" {
+		var err error
+		ev, err = openEventLog(*eventsPath)
+		if err != nil {
+			log.Fatalf("events: %v", err)
+		}
+		defer func() {
+			if err := ev.Close(); err != nil {
+				log.Printf("events: close: %v", err)
+			}
+		}()
+	}
 
 	var jr *journal.Journal
 	if *journalDir != "" {
@@ -165,6 +200,7 @@ func main() {
 			log.Printf("journal: recovered %d digests (%d already-analyzed skipped, %d torn tails truncated) from %s",
 				s.FramesReplayed, s.FramesSkipped, s.TailsTruncated, *journalDir)
 		}
+		jr.RegisterMetrics(reg)
 	}
 
 	srv, err := transport.ServeConfig(*listen, func(m transport.Message, from net.Addr) {
@@ -187,13 +223,29 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Stats().Register(reg, "")
 	log.Printf("dcsd analysis center listening on %s (window %v)", srv.Addr(), *window)
 	fmt.Println(srv.Addr()) // machine-readable line for scripts
 
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("http: %v", err)
+		}
+		hsrv := &http.Server{Handler: newHTTPHandler(reg, c)}
+		go func() {
+			if err := hsrv.Serve(hln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("http: %v", err)
+			}
+		}()
+		defer hsrv.Close()
+		log.Printf("dcsd http endpoints on %s (/metrics /healthz /debug/pprof)", hln.Addr())
+	}
+
 	drainAll := func() {
-		drainComplete(c, jr)
+		drainComplete(c, jr, ev)
 		for _, e := range c.Epochs() {
-			analyzeEpoch(c, jr, e)
+			analyzeEpoch(c, jr, ev, e)
 		}
 	}
 
@@ -213,7 +265,7 @@ func main() {
 			// veto a quiescence close for up to -max-wait ticks — a fleet
 			// that stopped advancing epochs would otherwise never satisfy
 			// the gate's own epoch-based bound.
-			drainComplete(c, jr)
+			drainComplete(c, jr, ev)
 			counts := c.EpochDigests()
 			for e, n := range counts {
 				if prev[e] != n {
@@ -228,7 +280,7 @@ func main() {
 					}
 					log.Printf("epoch %d exhausted quorum wait; analyzing degraded", e)
 				}
-				analyzeEpoch(c, jr, e)
+				analyzeEpoch(c, jr, ev, e)
 				delete(counts, e)
 				delete(heldTicks, e)
 			}

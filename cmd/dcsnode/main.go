@@ -97,6 +97,11 @@ func main() {
 		if abandoned, _ := client.Close(); abandoned > 0 {
 			log.Printf("router %d: abandoned %d undelivered digests on close", *routerID, abandoned)
 		}
+		// One transport ledger line at exit so a flaky run is diagnosable
+		// from the collector side alone, without scraping the center.
+		t := client.Stats().Snapshot()
+		log.Printf("router %d: transport: frames out=%d resends=%d dropped=%d reconnects=%d",
+			*routerID, t.FramesOut, t.Resends, t.DroppedSends, t.Reconnects)
 	}()
 
 	switch *mode {

@@ -40,6 +40,7 @@ import (
 	"dcstream/internal/aligned"
 	"dcstream/internal/center"
 	"dcstream/internal/journal"
+	"dcstream/internal/metrics"
 	"dcstream/internal/packet"
 	"dcstream/internal/stats"
 	"dcstream/internal/trafficgen"
@@ -154,6 +155,12 @@ func main() {
 	}
 	defer rec.Close()
 	recovered := center.New(center.Config{SubsetSize: 512, MaxEpochs: epochs})
+	// One registry over every layer of the recovered deployment — exactly
+	// what `dcsd -http` serves at /metrics; here it is dumped to stdout at
+	// the end instead.
+	reg := metrics.NewRegistry()
+	recovered.RegisterMetrics(reg)
+	rec.RegisterMetrics(reg)
 	if err := rec.Replay(func(m transport.Message) error {
 		recovered.Ingest(m)
 		return nil
@@ -190,4 +197,9 @@ func main() {
 	fmt.Printf("recovered-center counters: ingested=%d late=%d dup=%d dropped=%d analyzed=%d\n",
 		snap.DigestsIngested, snap.LateDigests, snap.DuplicateDigests, snap.DroppedDigests,
 		snap.EpochsAnalyzed)
+
+	fmt.Println("\n--- /metrics exposition of the recovered deployment ---")
+	if _, err := reg.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

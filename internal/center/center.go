@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dcstream/internal/aligned"
 	"dcstream/internal/bitvec"
+	"dcstream/internal/metrics"
 	"dcstream/internal/transport"
 	"dcstream/internal/unaligned"
 )
@@ -145,6 +147,9 @@ type UnalignedOutcome struct {
 type WindowReport struct {
 	// Epoch is the measurement epoch the report covers.
 	Epoch int
+	// Routers is how many distinct routers reported into the window (the
+	// observed m′, either digest kind counting).
+	Routers int
 	// Degraded reports that the window closed below the MinRouters quorum.
 	// MissingRouters names the known-live routers that never reported into
 	// the window, sorted ascending. Both stay zero when quorum gating is
@@ -162,10 +167,18 @@ type window struct {
 	// its slot) so a resent digest can be resolved by policy.
 	unaligned    []*unaligned.Digest
 	unalignedIdx map[int]int
+	// opened is when the window's first digest arrived; analyzeWindow
+	// observes the ingest→analyze latency against it. Wall time only feeds
+	// the histogram, never an analysis result, so determinism is untouched.
+	opened time.Time
 }
 
 func newWindow() *window {
-	return &window{aligned: make(map[int]*bitvec.Vector), unalignedIdx: make(map[int]int)}
+	return &window{
+		aligned:      make(map[int]*bitvec.Vector),
+		unalignedIdx: make(map[int]int),
+		opened:       time.Now(),
+	}
 }
 
 func (w *window) digests() int { return len(w.aligned) + len(w.unaligned) }
@@ -198,6 +211,13 @@ type Center struct {
 	sawAny     bool // guarded by mu
 	floor      int  // guarded by mu; epochs <= floor are closed (analyzed or evicted)
 	floorValid bool // guarded by mu
+	// evicted tombstones epochs evicted from the middle of the ring while an
+	// older window was quorum-held: the floor cannot rise past the held
+	// window, so without a tombstone a late digest for the evicted epoch
+	// would silently reopen it as a fresh, near-empty window that later
+	// analyzes degraded. Tombstones at or below the floor are pruned when it
+	// rises, so the set stays bounded by the ring width. guarded by mu
+	evicted map[int]bool
 	// lastSeen is the router registry: the newest epoch each router has
 	// ever stamped on a digest (late and duplicate digests count — the
 	// router is alive even when its data is unusable). Quorum liveness is
@@ -210,6 +230,7 @@ func New(cfg Config) *Center {
 	return &Center{
 		cfg:      cfg.withDefaults(),
 		windows:  make(map[int]*window),
+		evicted:  make(map[int]bool),
 		lastSeen: make(map[int]int),
 	}
 }
@@ -217,6 +238,39 @@ func New(cfg Config) *Center {
 // Stats returns the center's counters (the shared Stats when one was passed
 // in Config).
 func (c *Center) Stats() *Stats { return c.cfg.Stats }
+
+// RegisterMetrics exposes the center on a metrics registry: every Stats
+// counter plus live gauges over the ring — buffered epochs, epochs the
+// quorum gate currently holds open, and the registered router count. The
+// gauges are computed at scrape time under the center's lock (scrapes are
+// cold; ingest never takes the registry's locks).
+func (c *Center) RegisterMetrics(r *metrics.Registry) {
+	c.cfg.Stats.Register(r)
+	r.GaugeFunc("dcs_center_buffered_epochs",
+		"epoch windows currently buffered in the reorder ring", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.windows))
+		})
+	r.GaugeFunc("dcs_center_quorum_held_epochs",
+		"buffered epochs the quorum gate is holding open for missing live routers", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			held := 0
+			for e := range c.windows {
+				if c.quorumLocked(e).Hold {
+					held++
+				}
+			}
+			return float64(held)
+		})
+	r.GaugeFunc("dcs_center_routers",
+		"distinct routers that have ever reported a digest", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.lastSeen))
+		})
+}
 
 // Ingest accepts one decoded digest message and files it under the epoch
 // stamped on it. Unknown message types are ignored (forward compatibility
@@ -244,6 +298,10 @@ func (c *Center) Ingest(m transport.Message) {
 		c.cfg.Stats.LateDigests.Add(1)
 		return
 	}
+	// A DupKeepLast replacement mutates the window without growing it, so it
+	// counts in ReplacedDigests, not DigestsIngested — otherwise eviction's
+	// DroppedDigests (which drains the window's actual digest count) could
+	// never balance the ingest ledger.
 	switch d := m.(type) {
 	case transport.AlignedDigest:
 		if _, dup := w.aligned[d.RouterID]; dup {
@@ -251,6 +309,9 @@ func (c *Center) Ingest(m transport.Message) {
 			if c.cfg.Duplicates == DupKeepFirst {
 				return
 			}
+			w.aligned[d.RouterID] = d.Bitmap
+			c.cfg.Stats.ReplacedDigests.Add(1)
+			return
 		}
 		w.aligned[d.RouterID] = d.Bitmap
 	case transport.UnalignedDigest:
@@ -260,10 +321,11 @@ func (c *Center) Ingest(m transport.Message) {
 				return
 			}
 			w.unaligned[i] = d.Digest
-		} else {
-			w.unalignedIdx[d.Digest.RouterID] = len(w.unaligned)
-			w.unaligned = append(w.unaligned, d.Digest)
+			c.cfg.Stats.ReplacedDigests.Add(1)
+			return
 		}
+		w.unalignedIdx[d.Digest.RouterID] = len(w.unaligned)
+		w.unaligned = append(w.unaligned, d.Digest)
 	}
 	c.cfg.Stats.DigestsIngested.Add(1)
 }
@@ -277,6 +339,14 @@ func (c *Center) windowFor(epoch int) *window {
 	}
 	if w, ok := c.windows[epoch]; ok {
 		return w
+	}
+	if c.evicted[epoch] {
+		// Evicted from the middle of the ring while an older window was
+		// held: the floor never rose past it, but reopening it would build a
+		// fresh near-empty window the center later analyzes as a bogus
+		// degraded epoch. The straggler is late, exactly as if the floor had
+		// covered it.
+		return nil
 	}
 	if c.floorValid && epoch <= c.floor {
 		return nil
@@ -309,6 +379,11 @@ func (c *Center) windowFor(epoch int) *window {
 			// Only raising past the oldest keeps held mid-ring windows
 			// reachable; a floor above them would silently close them.
 			c.raiseFloor(victim)
+		} else {
+			// A mid-ring victim stays above the floor, so tombstone it:
+			// without this a late digest for the evicted epoch would reopen
+			// it as a fresh empty window.
+			c.evicted[victim] = true
 		}
 	}
 	w := newWindow()
@@ -316,10 +391,17 @@ func (c *Center) windowFor(epoch int) *window {
 	return w
 }
 
-// raiseFloor closes every epoch up to e. Caller holds c.mu.
+// raiseFloor closes every epoch up to e and prunes tombstones the new floor
+// subsumes (a floor check short-circuits before the tombstone lookup would
+// match them). Caller holds c.mu.
 func (c *Center) raiseFloor(e int) {
 	if !c.floorValid || e > c.floor {
 		c.floor, c.floorValid = e, true
+		for t := range c.evicted {
+			if t <= c.floor {
+				delete(c.evicted, t)
+			}
+		}
 	}
 }
 
@@ -508,7 +590,12 @@ func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
 }
 
 func (c *Center) analyzeWindow(epoch int, w *window, meta windowMeta) (WindowReport, error) {
-	rep := WindowReport{Epoch: epoch, Degraded: meta.degraded, MissingRouters: meta.missing}
+	rep := WindowReport{
+		Epoch:          epoch,
+		Routers:        meta.observed,
+		Degraded:       meta.degraded,
+		MissingRouters: meta.missing,
+	}
 	if len(w.aligned) >= 2 {
 		out, err := c.analyzeAligned(w.aligned)
 		if err != nil {
@@ -527,6 +614,7 @@ func (c *Center) analyzeWindow(epoch int, w *window, meta windowMeta) (WindowRep
 	if meta.degraded {
 		c.cfg.Stats.DegradedEpochs.Add(1)
 	}
+	c.cfg.Stats.IngestToAnalyzeSeconds.Observe(time.Since(w.opened).Seconds())
 	return rep, nil
 }
 

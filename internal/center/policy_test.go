@@ -82,9 +82,9 @@ func TestEvictionRaceAndLedger(t *testing.T) {
 	wg.Wait()
 
 	s := c.Stats().Snapshot()
-	if s.DigestsIngested+s.LateDigests != totalSends {
-		t.Fatalf("ledger broken: ingested %d + late %d != %d seen",
-			s.DigestsIngested, s.LateDigests, totalSends)
+	if s.DigestsIngested+s.ReplacedDigests+s.LateDigests != totalSends {
+		t.Fatalf("ledger broken: ingested %d + replaced %d + late %d != %d seen",
+			s.DigestsIngested, s.ReplacedDigests, s.LateDigests, totalSends)
 	}
 	if s.EpochsEvicted == 0 {
 		t.Fatal("eviction storm evicted nothing — the test lost its point")

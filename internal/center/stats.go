@@ -1,40 +1,82 @@
 package center
 
-import "sync/atomic"
+import "dcstream/internal/metrics"
 
 // Stats counts ingest-path events with atomic counters so per-connection
 // handler goroutines can bump them locklessly and cmd/dcsd can report them
-// live. A Stats must not be copied after first use; the zero value is ready.
+// live. The fields are registry-grade metrics (their Add/Load API matches
+// sync/atomic's), so Register can expose the same values on /metrics without
+// a second set of books: the scrape and the -stats log can never disagree.
+// A Stats must not be copied after first use; the zero value is ready.
 type Stats struct {
-	// DigestsIngested counts digests accepted into some epoch window
-	// (duplicates resolved by DupKeepLast count again — each acceptance
-	// mutated a window).
-	DigestsIngested atomic.Int64
+	// DigestsIngested counts digests accepted into some epoch window as a
+	// new (router, epoch, kind) entry. A DupKeepLast replacement mutates a
+	// window but adds no digest to it, so it counts in ReplacedDigests
+	// instead — DroppedDigests at eviction time drains exactly what
+	// DigestsIngested filled.
+	DigestsIngested metrics.Counter
 	// LateDigests counts digests dropped because their epoch was already
 	// analyzed or evicted — the collector fell behind the reorder window.
-	LateDigests atomic.Int64
+	LateDigests metrics.Counter
 	// DuplicateDigests counts second-or-later digests from one router for
 	// one epoch, whatever the resolution policy did with them.
-	DuplicateDigests atomic.Int64
+	DuplicateDigests metrics.Counter
+	// ReplacedDigests counts DupKeepLast resolutions that overwrote an
+	// earlier digest in place (a subset of DuplicateDigests; always 0 under
+	// DupKeepFirst). Every message ends in exactly one ledger: ingested,
+	// late, replaced, or discarded-by-KeepFirst (DuplicateDigests minus
+	// ReplacedDigests).
+	ReplacedDigests metrics.Counter
 	// DroppedDigests counts digests lost when their epoch was evicted
 	// unanalyzed to make room in the ring.
-	DroppedDigests atomic.Int64
+	DroppedDigests metrics.Counter
 	// UnknownMessages counts wire messages of a kind this center does not
 	// understand (forward compatibility: ignored, not fatal).
-	UnknownMessages atomic.Int64
+	UnknownMessages metrics.Counter
 	// EpochsAnalyzed and EpochsEvicted count window lifecycle endings.
-	EpochsAnalyzed atomic.Int64
-	EpochsEvicted  atomic.Int64
+	EpochsAnalyzed metrics.Counter
+	EpochsEvicted  metrics.Counter
 	// DegradedEpochs counts windows analyzed below the MinRouters quorum
 	// (a subset of EpochsAnalyzed; always 0 with quorum gating off).
-	DegradedEpochs atomic.Int64
+	DegradedEpochs metrics.Counter
+	// IngestToAnalyzeSeconds is the latency from a window's first ingested
+	// digest to the completion of its analysis — the operator's view of how
+	// far behind the fleet the center is running.
+	IngestToAnalyzeSeconds metrics.Histogram
+}
+
+// Register exposes every counter (and the ingest→analyze histogram) on r
+// under dcs_center_* names. The fields stay the single source of truth:
+// registration attaches them, it does not copy them, so `dcsd -stats` and a
+// /metrics scrape always print the same numbers.
+func (s *Stats) Register(r *metrics.Registry) {
+	r.RegisterCounter("dcs_center_digests_ingested_total",
+		"digests accepted into an epoch window as a new (router, epoch, kind) entry", &s.DigestsIngested)
+	r.RegisterCounter("dcs_center_digests_late_total",
+		"digests dropped because their epoch was already analyzed or evicted", &s.LateDigests)
+	r.RegisterCounter("dcs_center_digests_duplicate_total",
+		"second-or-later digests from one router for one epoch, any policy", &s.DuplicateDigests)
+	r.RegisterCounter("dcs_center_digests_replaced_total",
+		"DupKeepLast duplicates that overwrote an earlier digest in place", &s.ReplacedDigests)
+	r.RegisterCounter("dcs_center_digests_dropped_total",
+		"digests lost when their epoch was evicted unanalyzed", &s.DroppedDigests)
+	r.RegisterCounter("dcs_center_messages_unknown_total",
+		"wire messages of an unknown kind (ignored)", &s.UnknownMessages)
+	r.RegisterCounter("dcs_center_epochs_analyzed_total",
+		"epoch windows closed by analysis", &s.EpochsAnalyzed)
+	r.RegisterCounter("dcs_center_epochs_evicted_total",
+		"epoch windows evicted unanalyzed to make ring room", &s.EpochsEvicted)
+	r.RegisterCounter("dcs_center_epochs_degraded_total",
+		"epoch windows analyzed below the MinRouters quorum", &s.DegradedEpochs)
+	r.RegisterHistogram("dcs_center_ingest_to_analyze_seconds",
+		"latency from a window's first digest to its analysis completing", &s.IngestToAnalyzeSeconds)
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
 type Snapshot struct {
-	DigestsIngested, LateDigests, DuplicateDigests int64
-	DroppedDigests, UnknownMessages                int64
-	EpochsAnalyzed, EpochsEvicted, DegradedEpochs  int64
+	DigestsIngested, LateDigests, DuplicateDigests, ReplacedDigests int64
+	DroppedDigests, UnknownMessages                                 int64
+	EpochsAnalyzed, EpochsEvicted, DegradedEpochs                   int64
 }
 
 // Snapshot reads every counter once (not a single atomic cut; fine for
@@ -44,6 +86,7 @@ func (s *Stats) Snapshot() Snapshot {
 		DigestsIngested:  s.DigestsIngested.Load(),
 		LateDigests:      s.LateDigests.Load(),
 		DuplicateDigests: s.DuplicateDigests.Load(),
+		ReplacedDigests:  s.ReplacedDigests.Load(),
 		DroppedDigests:   s.DroppedDigests.Load(),
 		UnknownMessages:  s.UnknownMessages.Load(),
 		EpochsAnalyzed:   s.EpochsAnalyzed.Load(),

@@ -229,14 +229,18 @@ func TestIngestAnalyzeRace(t *testing.T) {
 	writersWG.Wait()
 	close(stop)
 	readerWG.Wait()
-	// Every message ended exactly one way at ingest: accepted (including
-	// keep-last duplicate overwrites) or late. Dropped/evicted digests were
-	// accepted first, so the ledger must balance exactly.
+	// Every message ended exactly one way at ingest: accepted as a new
+	// window entry, a keep-last replacement, or late. Dropped/evicted
+	// digests were accepted first, so the ledger must balance exactly.
 	s := c.Stats().Snapshot()
 	total := int64(writers * perG * 2)
-	if s.DigestsIngested+s.LateDigests != total {
-		t.Fatalf("digest accounting hole: ingested=%d late=%d dup=%d dropped=%d total=%d",
-			s.DigestsIngested, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, total)
+	if s.DigestsIngested+s.ReplacedDigests+s.LateDigests != total {
+		t.Fatalf("digest accounting hole: ingested=%d replaced=%d late=%d dup=%d dropped=%d total=%d",
+			s.DigestsIngested, s.ReplacedDigests, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, total)
+	}
+	// Replacements are exactly the keep-last duplicates.
+	if s.ReplacedDigests != s.DuplicateDigests {
+		t.Fatalf("keep-last replaced=%d != duplicates=%d", s.ReplacedDigests, s.DuplicateDigests)
 	}
 }
 

@@ -34,7 +34,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"dcstream/internal/metrics"
 	"dcstream/internal/transport"
 )
 
@@ -73,6 +75,41 @@ type Stats struct {
 	// SegmentsPurged counts sealed segments deleted because every epoch
 	// they contained had been analyzed.
 	SegmentsPurged int
+	// DirSyncs counts fsyncs of the journal directory itself — one after
+	// every batch of segment create/delete operations and after the
+	// ANALYZED sidecar is first created, so directory entries are as
+	// durable as the file contents they point at.
+	DirSyncs int
+}
+
+// counters holds the journal's lifetime counts as registry-grade atomics so
+// RegisterMetrics can expose the live values without snapshotting under the
+// journal lock.
+type counters struct {
+	framesAppended metrics.Counter
+	framesReplayed metrics.Counter
+	framesSkipped  metrics.Counter
+	tailsTruncated metrics.Counter
+	segmentsPurged metrics.Counter
+	dirSyncs       metrics.Counter
+}
+
+// fsyncDir makes a batch of directory-entry mutations (segment creates and
+// deletes, the ANALYZED sidecar's creation) durable: fsyncing a file
+// persists its contents, not the directory entry naming it, so without this
+// a crash can resurrect purged segments — re-replaying analyzed epochs — or
+// lose a freshly rotated segment entirely, even with SyncEveryAppend on. A
+// package variable so crash-simulation tests can observe and fail it.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // segment is one sealed (no longer written) on-disk segment.
@@ -96,8 +133,12 @@ type Journal struct {
 	sealed       []segment    // guarded by mu
 	analyzed     map[int]bool // guarded by mu
 	analyzedF    *os.File     // guarded by mu
-	stats        Stats        // guarded by mu
 	closed       bool         // guarded by mu
+
+	// ctr and fsync are atomic; they are read by scrapes and RegisterMetrics
+	// gauges without taking mu.
+	ctr   counters
+	fsync metrics.Histogram
 }
 
 // Open opens (creating if needed) the journal in dir. Existing segments are
@@ -135,7 +176,25 @@ func Open(dir string, opt Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: open active segment: %w", err)
 	}
 	j.active = f
+	// One directory sync covers everything Open mutated: the ANALYZED
+	// sidecar's creation, torn-tail truncations, frameless-segment removals,
+	// and the fresh active segment's entry. Without it a crash right after
+	// Open can lose the active segment's name — every synced append after
+	// that would be appending to an unreachable inode.
+	if err := j.syncDirLocked(); err != nil {
+		return nil, err
+	}
 	return j, nil
+}
+
+// syncDirLocked fsyncs the journal directory and counts it. Caller holds
+// j.mu (or is constructing the journal).
+func (j *Journal) syncDirLocked() error {
+	if err := fsyncDir(j.dir); err != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", j.dir, err)
+	}
+	j.ctr.dirSyncs.Inc()
+	return nil
 }
 
 func (j *Journal) segPath(seq int) string {
@@ -206,7 +265,7 @@ func (j *Journal) loadSegmentsLocked() error {
 			if err := os.Truncate(path, valid); err != nil {
 				return fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
 			}
-			j.stats.TailsTruncated++
+			j.ctr.tailsTruncated.Inc()
 		}
 		if valid == 0 {
 			// Nothing recoverable (an empty active segment from a clean
@@ -292,11 +351,23 @@ func (j *Journal) Append(m transport.Message) error {
 	if e, ok := epochOf(m); ok {
 		j.activeEpochs[e] = true
 	}
-	j.stats.FramesAppended++
+	j.ctr.framesAppended.Inc()
 	if j.opt.SyncEveryAppend {
-		if err := j.active.Sync(); err != nil {
-			return fmt.Errorf("journal: sync: %w", err)
+		if err := j.syncActiveLocked(); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// syncActiveLocked fsyncs the active segment, feeding the latency histogram.
+// Caller holds j.mu.
+func (j *Journal) syncActiveLocked() error {
+	start := time.Now()
+	err := j.active.Sync()
+	j.fsync.Observe(time.Since(start).Seconds())
+	if err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
 	}
 	return nil
 }
@@ -309,7 +380,7 @@ func (j *Journal) Sync() error {
 	if j.closed {
 		return ErrClosed
 	}
-	return j.active.Sync()
+	return j.syncActiveLocked()
 }
 
 // rotateLocked seals the active segment and starts a new one. Caller holds
@@ -334,7 +405,11 @@ func (j *Journal) rotateLocked() error {
 		return fmt.Errorf("journal: rotate: %w", err)
 	}
 	j.active = f
-	return nil
+	// The new active segment's directory entry (and any epochless-segment
+	// removal above) must be durable before appends land in it: SyncEveryAppend
+	// fsyncs file contents, which cannot save a file whose name a crash
+	// erased.
+	return j.syncDirLocked()
 }
 
 // EpochAnalyzed durably marks an epoch as analyzed: its frames are skipped
@@ -363,13 +438,15 @@ func (j *Journal) EpochAnalyzed(epoch int) error {
 			return err
 		}
 	}
-	j.purgeLocked()
-	return nil
+	return j.purgeLocked()
 }
 
-// purgeLocked deletes sealed segments whose every epoch is analyzed. Caller
-// holds j.mu.
-func (j *Journal) purgeLocked() {
+// purgeLocked deletes sealed segments whose every epoch is analyzed, then
+// fsyncs the directory so the deletions stick: an unlink that a crash rolls
+// back resurrects the segment, and the next restart would re-replay epochs
+// the ANALYZED sidecar may itself have lost the mark for. Caller holds j.mu.
+func (j *Journal) purgeLocked() error {
+	purged := 0
 	kept := j.sealed[:0]
 	for _, s := range j.sealed {
 		done := true
@@ -384,12 +461,17 @@ func (j *Journal) purgeLocked() {
 				kept = append(kept, s) // retry at the next purge
 				continue
 			}
-			j.stats.SegmentsPurged++
+			j.ctr.segmentsPurged.Inc()
+			purged++
 			continue
 		}
 		kept = append(kept, s)
 	}
 	j.sealed = kept
+	if purged == 0 {
+		return nil
+	}
+	return j.syncDirLocked()
 }
 
 // Replay feeds every surviving frame of an un-analyzed epoch to fn, oldest
@@ -431,10 +513,8 @@ func (j *Journal) Replay(fn func(transport.Message) error) error {
 			return err
 		}
 	}
-	j.mu.Lock()
-	j.stats.FramesReplayed += replayed
-	j.stats.FramesSkipped += skipped
-	j.mu.Unlock()
+	j.ctr.framesReplayed.Add(int64(replayed))
+	j.ctr.framesSkipped.Add(int64(skipped))
 	return nil
 }
 
@@ -448,9 +528,38 @@ func (j *Journal) Segments() int {
 
 // Stats returns a snapshot of the journal's counters.
 func (j *Journal) Stats() Stats {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.stats
+	return Stats{
+		FramesAppended: int(j.ctr.framesAppended.Load()),
+		FramesReplayed: int(j.ctr.framesReplayed.Load()),
+		FramesSkipped:  int(j.ctr.framesSkipped.Load()),
+		TailsTruncated: int(j.ctr.tailsTruncated.Load()),
+		SegmentsPurged: int(j.ctr.segmentsPurged.Load()),
+		DirSyncs:       int(j.ctr.dirSyncs.Load()),
+	}
+}
+
+// RegisterMetrics exposes the journal on a metrics registry: lifetime
+// counters, the per-fsync latency histogram, and a live-segments gauge (the
+// un-purged backlog the next restart would replay).
+func (j *Journal) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterCounter("dcs_journal_appends_total",
+		"digest frames appended to the active segment", &j.ctr.framesAppended)
+	r.RegisterCounter("dcs_journal_frames_replayed_total",
+		"frames fed to the ingest callback by Replay", &j.ctr.framesReplayed)
+	r.RegisterCounter("dcs_journal_frames_skipped_total",
+		"replay frames skipped because their epoch was already analyzed", &j.ctr.framesSkipped)
+	r.RegisterCounter("dcs_journal_tails_truncated_total",
+		"segments whose torn tail was cut back at Open", &j.ctr.tailsTruncated)
+	r.RegisterCounter("dcs_journal_segments_purged_total",
+		"sealed segments deleted with every epoch analyzed", &j.ctr.segmentsPurged)
+	r.RegisterCounter("dcs_journal_dir_syncs_total",
+		"fsyncs of the journal directory (segment create/delete durability)", &j.ctr.dirSyncs)
+	r.RegisterHistogram("dcs_journal_fsync_seconds",
+		"latency of active-segment fsyncs", &j.fsync)
+	r.GaugeFunc("dcs_journal_live_segments",
+		"sealed on-disk segments still holding un-analyzed epochs", func() float64 {
+			return float64(j.Segments())
+		})
 }
 
 // Close syncs and closes the journal. An empty active segment is removed so
@@ -472,6 +581,9 @@ func (j *Journal) Close() error {
 	if len(j.activeEpochs) == 0 {
 		//dcslint:ignore errcrit best-effort cleanup of an epochless segment; a survivor is removed at the next Open
 		os.Remove(j.segPath(j.activeSeq))
+		if err := j.syncDirLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if err := j.analyzedF.Close(); err != nil && firstErr == nil {
 		firstErr = err

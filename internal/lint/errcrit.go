@@ -6,11 +6,14 @@ import (
 )
 
 // errcritPkgs scopes the rule to the crash-safety-critical packages: the
-// WAL, the digest transport, and the analysis center. These are the places
-// where a silently dropped write error converts "kill -9 loses nothing"
-// into "kill -9 loses whatever the kernel had not flushed" with no test
-// able to notice.
-var errcritPkgs = []string{"journal", "transport", "center"}
+// WAL, the digest transport, the analysis center, and the metrics registry.
+// The first three are the places where a silently dropped write error
+// converts "kill -9 loses nothing" into "kill -9 loses whatever the kernel
+// had not flushed" with no test able to notice; the registry is in scope
+// because a scrape that drops an exposition write error serves a silently
+// truncated /metrics page that still parses — monitoring reads wrong, small
+// counters as the truth.
+var errcritPkgs = []string{"journal", "transport", "center", "metrics"}
 
 // errcritMethods are the write-path method names whose error result must not
 // be discarded inside the scoped packages: writes, syncs, deadline arming,
@@ -36,7 +39,7 @@ var errcritOsFuncs = map[string]bool{
 // a //dcslint:ignore errcrit comment stating why the error cannot lose data.
 var errcritRule = Rule{
 	Name: "errcrit",
-	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, os.Remove/Rename/...) in journal, transport, center",
+	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, os.Remove/Rename/...) in journal, transport, center, metrics",
 	Run:  runErrcrit,
 }
 

@@ -51,8 +51,11 @@ func TestGoldenAtomicmix(t *testing.T) {
 }
 
 func TestGoldenErrcrit(t *testing.T) {
-	// journal is in errcrit's crash-safety scope; other is the out-of-scope
-	// negative where best-effort closes are tolerated.
+	// journal and metrics are in errcrit's crash-safety scope (the registry
+	// because a dropped exposition-write error truncates /metrics silently);
+	// other is the out-of-scope negative where best-effort closes are
+	// tolerated.
 	runGolden(t, "errcrit/journal", "errcrit")
+	runGolden(t, "errcrit/metrics", "errcrit")
 	runGolden(t, "errcrit/other", "errcrit")
 }

@@ -1,0 +1,33 @@
+// Package metrics exercises the errcrit rule inside the metrics registry
+// (the "metrics" path segment puts it in scope): an exposition write error
+// that is dropped serves a silently truncated /metrics page, so write-path
+// errors must surface here exactly as on the journal's crash path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// scrape discards exposition-write errors the rule must catch.
+func scrape(w http.ResponseWriter, body io.WriterTo) {
+	w.Write([]byte("# HELP x\n"))    // want `errcrit: error from w\.Write discarded`
+	_, _ = body.WriteTo(w)           // want `errcrit: error from body\.WriteTo assigned to _`
+	io.WriteString(w, "x_total 1\n") // want `errcrit: error from io\.WriteString discarded`
+	// Fprintf is not in the write-method list (formatting helpers wrap a
+	// Writer whose own Write the rule already polices at the call site that
+	// owns it), so this line is the in-scope negative.
+	fmt.Fprintf(w, "x_total %d\n", 1)
+}
+
+// checked is the approved shape: the first failed write aborts the scrape.
+func checked(w io.Writer, body io.WriterTo) error {
+	if _, err := io.WriteString(w, "# HELP x\n"); err != nil {
+		return fmt.Errorf("exposition: %w", err)
+	}
+	if _, err := body.WriteTo(w); err != nil {
+		return fmt.Errorf("exposition: %w", err)
+	}
+	return nil
+}

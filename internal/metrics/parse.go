@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses the Prometheus text exposition this package's WriteTo
+// emits, returning sample name → value. Histogram series appear under their
+// full sample names (`name_bucket{le="0.5"}`, `name_sum`, `name_count`), so a
+// scrape assertion can check any series it cares about with plain map
+// lookups. It understands exactly the subset the Registry writes — `# HELP`/
+// `# TYPE` comments, unlabelled samples, and the single `le` histogram label
+// — which is all a test or the chaos CI job needs to verify a scrape; it is
+// not a general Prometheus parser.
+//
+// A malformed line is an error, never skipped: the whole point of parsing a
+// scrape in CI is to fail when the exposition stops being well-formed.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample line is "<name>[{le="..."}] <value>"; the name grammar has
+		// no spaces, so the last space splits name from value.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("metrics: parse line %d: no value in %q", lineNo, line)
+		}
+		name, val := line[:i], line[i+1:]
+		if err := validSampleName(name); err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: value %q: %w", lineNo, val, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("metrics: parse line %d: duplicate sample %q", lineNo, name)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: parse: %w", err)
+	}
+	return out, nil
+}
+
+// validSampleName accepts a bare metric name or a histogram bucket sample
+// (`name_bucket{le="<float-or-+Inf>"}`).
+func validSampleName(s string) error {
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		name, label := s[:i], s[i:]
+		if !strings.HasSuffix(name, "_bucket") {
+			return fmt.Errorf("labelled sample %q is not a histogram bucket", s)
+		}
+		le, ok := strings.CutPrefix(label, `{le="`)
+		if !ok {
+			return fmt.Errorf("bucket sample %q: label is not le", s)
+		}
+		le, ok = strings.CutSuffix(le, `"}`)
+		if !ok {
+			return fmt.Errorf("bucket sample %q: unterminated label", s)
+		}
+		if le != "+Inf" {
+			if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("bucket sample %q: bad le bound: %w", s, err)
+			}
+		}
+		s = name
+	}
+	if !validName(s) {
+		return fmt.Errorf("invalid metric name %q", s)
+	}
+	return nil
+}

@@ -105,12 +105,14 @@ func (s *Server) acceptLoop() {
 // failure is visible in Stats rather than silent.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	accepted := time.Now()
 	defer func() {
 		//dcslint:ignore errcrit read-side teardown; the center never writes to collectors, so a close error cannot lose data
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.cfg.Stats.ConnLifetimeSeconds.Observe(time.Since(accepted).Seconds())
 	}()
 	for {
 		if s.cfg.ReadTimeout > 0 {

@@ -1,38 +1,76 @@
 package transport
 
-import "sync/atomic"
+import "dcstream/internal/metrics"
 
 // Stats counts transport-level events with atomic counters so the server's
 // per-connection goroutines and a ReconnectingClient's sender can bump them
-// without locks, and cmd/dcsd can snapshot them while traffic flows.
+// without locks, and cmd/dcsd can snapshot them while traffic flows. The
+// fields are registry-grade metrics (their Add/Load API matches
+// sync/atomic's), so Register can expose the same values on /metrics without
+// a second set of books.
 //
 // A Stats value must not be copied after first use. The zero value is ready.
 type Stats struct {
 	// FramesIn counts frames decoded successfully (server side).
-	FramesIn atomic.Int64
+	FramesIn metrics.Counter
 	// FramesOut counts frames written successfully (client side).
-	FramesOut atomic.Int64
+	FramesOut metrics.Counter
 	// BadFrames counts frames rejected as malformed or checksum-failed
 	// (ErrBadFrame); each one costs the offending connection its life but
 	// leaves every other collector connected.
-	BadFrames atomic.Int64
+	BadFrames metrics.Counter
 	// ConnsAccepted counts collector connections accepted.
-	ConnsAccepted atomic.Int64
+	ConnsAccepted metrics.Counter
 	// ConnsReaped counts connections closed by the server's read deadline
 	// (dead or stalled collectors).
-	ConnsReaped atomic.Int64
+	ConnsReaped metrics.Counter
 	// Reconnects counts successful re-dials by ReconnectingClient after the
 	// initial connection (0 while the first dial is still pending).
-	Reconnects atomic.Int64
+	Reconnects metrics.Counter
 	// Resends counts frames that had to be written again on a fresh
 	// connection after a mid-write failure.
-	Resends atomic.Int64
+	Resends metrics.Counter
 	// DroppedSends counts messages refused by a full ReconnectingClient
 	// buffer — digests lost on the collector side, never sent.
-	DroppedSends atomic.Int64
+	DroppedSends metrics.Counter
 	// AbandonedOnClose counts messages still undelivered when Close ran —
 	// the caller chose to stop before Flush emptied the buffer.
-	AbandonedOnClose atomic.Int64
+	AbandonedOnClose metrics.Counter
+	// ConnLifetimeSeconds observes how long each server-side collector
+	// connection lived, accept to close. Short lifetimes under load are the
+	// signature of a flapping collector or an over-aggressive ReadTimeout.
+	ConnLifetimeSeconds metrics.Histogram
+}
+
+// Register exposes every counter (and the connection-lifetime histogram) on
+// r, each name prefixed with ns (empty means "dcs_transport"). The fields
+// stay the single source of truth: registration attaches them, it does not
+// copy them. Pass distinct namespaces to register several Stats — say a
+// server's and a client's — on one registry.
+func (s *Stats) Register(r *metrics.Registry, ns string) {
+	if ns == "" {
+		ns = "dcs_transport"
+	}
+	r.RegisterCounter(ns+"_frames_in_total",
+		"frames decoded successfully (server side)", &s.FramesIn)
+	r.RegisterCounter(ns+"_frames_out_total",
+		"frames written successfully (client side)", &s.FramesOut)
+	r.RegisterCounter(ns+"_frames_bad_total",
+		"frames rejected as malformed or checksum-failed", &s.BadFrames)
+	r.RegisterCounter(ns+"_conns_accepted_total",
+		"collector connections accepted", &s.ConnsAccepted)
+	r.RegisterCounter(ns+"_conns_reaped_total",
+		"connections closed by the server's read deadline", &s.ConnsReaped)
+	r.RegisterCounter(ns+"_reconnects_total",
+		"successful re-dials after the initial connection", &s.Reconnects)
+	r.RegisterCounter(ns+"_resends_total",
+		"frames rewritten on a fresh connection after a mid-write failure", &s.Resends)
+	r.RegisterCounter(ns+"_sends_dropped_total",
+		"messages refused by a full reconnect buffer", &s.DroppedSends)
+	r.RegisterCounter(ns+"_abandoned_on_close_total",
+		"messages still undelivered when Close ran", &s.AbandonedOnClose)
+	r.RegisterHistogram(ns+"_conn_lifetime_seconds",
+		"server-side collector connection lifetimes, accept to close", &s.ConnLifetimeSeconds)
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
