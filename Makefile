@@ -3,7 +3,7 @@ FUZZTIME ?= 30s
 BENCH_LABEL ?= local
 BENCH_SCALE ?= default
 
-.PHONY: build test lint verify bench bench-json chaos fuzz-smoke clean
+.PHONY: build test lint verify bench bench-json bench-udp-json chaos fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -40,21 +40,29 @@ bench:
 bench-json:
 	$(GO) run ./cmd/dcsbench -exp all -scale $(BENCH_SCALE) -json -label $(BENCH_LABEL) > BENCH_$(BENCH_LABEL).json
 
+# Transport ingest baseline: the batched-UDP-versus-framed-TCP throughput
+# comparison, committed as BENCH_udp.json. The human table (rates and the
+# udp/tcp speedup) goes to the json file too so the committed baseline is
+# self-describing.
+bench-udp-json:
+	$(GO) run ./cmd/dcsbench -exp ingest -scale $(BENCH_SCALE) -json -label udp > BENCH_udp.json
+
 # Fault-injection tier: the chaos-proxy integration tests (crash recovery
-# through a corrupting link, quorum under partition, eventual delivery and
-# CRC integrity) plus the journal, duplicate/eviction corners, and the
-# mid-chaos /metrics scrape (exposition must parse and counters stay
-# monotone while ingest churns). All chaos schedules are seeded in the tests
-# themselves, so the run is reproducible.
+# through a corrupting link, lossy-UDP degraded-never-wrong, quorum under
+# partition, eventual delivery and CRC integrity) plus the journal,
+# duplicate/eviction corners, and the mid-chaos /metrics scrape (exposition
+# must parse and counters stay monotone while ingest churns). All chaos
+# schedules are seeded in the tests themselves, so the run is reproducible.
 chaos:
 	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape' \
 		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/...
 
-# Short fuzz of the two crash/byte-level decoders: the transport wire reader
-# and the journal recovery scanner. Native Go fuzzing only supports one
-# target per invocation.
+# Short fuzz of the crash/byte-level decoders: the transport wire reader, the
+# UDP datagram decoder, and the journal recovery scanner. Native Go fuzzing
+# only supports one target per invocation.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzReadDatagram -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzSegmentScan -fuzztime $(FUZZTIME) ./internal/journal
 
 clean:

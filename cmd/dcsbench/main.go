@@ -6,7 +6,7 @@
 //
 // Experiments: fig7, fig11, fig12, fig13, table1, table2, table3, stress,
 // complexity, persistence, ablation-offsets, ablation-hopefuls,
-// ablation-sampling, all.
+// ablation-sampling, ingest, all.
 // Scales: test (seconds), default (tens of seconds), paper (minutes).
 //
 // With -json the human tables are suppressed and a machine-readable
@@ -132,6 +132,11 @@ var runners = []runner{
 			return experiments.RunAblationSampling(p)
 		})
 	}},
+	{"ingest", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.IngestResult, error) {
+			return experiments.RunIngest(experiments.IngestParamsFor(seed, s))
+		})
+	}},
 }
 
 // benchRecord is the -json document. Millis values are wall time and thus
@@ -151,6 +156,10 @@ type benchRecord struct {
 type benchEntry struct {
 	Name   string  `json:"name"`
 	Millis float64 `json:"millis"`
+	// Table is the experiment's rendered result, line-split for readable
+	// JSON. Committed baselines stay self-describing: a throughput record
+	// carries its rates, not just its wall time.
+	Table []string `json:"table,omitempty"`
 }
 
 func main() {
@@ -212,10 +221,14 @@ func main() {
 			fmt.Println(res.String())
 			fmt.Printf("(%s finished in %v at scale %s)\n\n", r.name, elapsed.Round(time.Millisecond), scale)
 		}
-		record.Experiments = append(record.Experiments, benchEntry{
+		entry := benchEntry{
 			Name:   r.name,
 			Millis: float64(elapsed.Microseconds()) / 1000,
-		})
+		}
+		if *jsonFlag {
+			entry.Table = strings.Split(strings.TrimRight(res.String(), "\n"), "\n")
+		}
+		record.Experiments = append(record.Experiments, entry)
 	}
 	if len(record.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")

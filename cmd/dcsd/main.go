@@ -122,17 +122,24 @@ func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog) {
 	}
 }
 
-func logStats(srv *transport.Server, c *center.Center) {
+func logStats(srv *transport.Server, usrv *transport.UDPServer, c *center.Center) {
 	t, s := srv.Stats().Snapshot(), c.Stats().Snapshot()
 	log.Printf("stats: frames in=%d bad=%d; conns accepted=%d reaped=%d; digests ingested=%d late=%d dup=%d dropped=%d unknown=%d; epochs analyzed=%d degraded=%d evicted=%d",
 		t.FramesIn, t.BadFrames, t.ConnsAccepted, t.ConnsReaped,
 		s.DigestsIngested, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, s.UnknownMessages,
 		s.EpochsAnalyzed, s.DegradedEpochs, s.EpochsEvicted)
+	if usrv != nil {
+		u := usrv.Stats().Snapshot()
+		log.Printf("stats: udp datagrams in=%d rejected=%d lost=%d late=%d; frames in=%d bad=%d",
+			u.DatagramsIn, u.DatagramsRejected, u.DatagramsLost, u.DatagramsLate,
+			u.FramesIn, u.BadFrames)
+	}
 }
 
 func main() {
 	var (
 		listen      = flag.String("listen", "127.0.0.1:7460", "address to listen on")
+		udpListen   = flag.String("udp", "", "also accept batched digest datagrams on this UDP address (empty = off)")
 		window      = flag.Duration("window", 2*time.Second, "analysis window tick")
 		idleConn    = flag.Duration("conn-timeout", 2*time.Minute, "reap collector connections idle this long")
 		maxEpochs   = flag.Int("max-epochs", 4, "epochs buffered at once (reorder window)")
@@ -203,7 +210,9 @@ func main() {
 		jr.RegisterMetrics(reg)
 	}
 
-	srv, err := transport.ServeConfig(*listen, func(m transport.Message, from net.Addr) {
+	// One ingest handler shared by both listeners: journal first, then the
+	// in-memory window, then a per-digest log line.
+	handler := func(m transport.Message, from net.Addr) {
 		if jr != nil {
 			if err := jr.Append(m); err != nil {
 				// The digest still reaches the in-memory window; only its
@@ -218,7 +227,9 @@ func main() {
 		case transport.UnalignedDigest:
 			log.Printf("unaligned digest from router %d (%s), epoch %d", d.Digest.RouterID, from, d.Epoch)
 		}
-	}, transport.ServerConfig{ReadTimeout: *idleConn})
+	}
+
+	srv, err := transport.ServeConfig(*listen, handler, transport.ServerConfig{ReadTimeout: *idleConn})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -226,6 +237,22 @@ func main() {
 	srv.Stats().Register(reg, "")
 	log.Printf("dcsd analysis center listening on %s (window %v)", srv.Addr(), *window)
 	fmt.Println(srv.Addr()) // machine-readable line for scripts
+
+	var usrv *transport.UDPServer
+	if *udpListen != "" {
+		usrv, err = transport.ServeUDP(*udpListen, handler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := usrv.Close(); err != nil {
+				log.Printf("udp close: %v", err)
+			}
+		}()
+		usrv.Stats().Register(reg, "dcs_transport_udp")
+		log.Printf("dcsd udp ingest on %s (batched datagrams, loss-tolerant)", usrv.Addr())
+		fmt.Println(usrv.Addr()) // machine-readable line for scripts
+	}
 
 	if *httpAddr != "" {
 		hln, err := net.Listen("tcp", *httpAddr)
@@ -286,7 +313,7 @@ func main() {
 			}
 			prev = counts
 			if *stats {
-				logStats(srv, c)
+				logStats(srv, usrv, c)
 			}
 			if *once {
 				drainAll()
@@ -296,7 +323,7 @@ func main() {
 			log.Printf("signal %v: analyzing remaining epochs and shutting down", s)
 			drainAll()
 			if *stats {
-				logStats(srv, c)
+				logStats(srv, usrv, c)
 			}
 			return
 		}

@@ -30,6 +30,7 @@ import (
 func main() {
 	var (
 		center      = flag.String("center", "127.0.0.1:7460", "analysis center address")
+		transportK  = flag.String("transport", "tcp", "digest transport: tcp (reliable, reconnecting) | udp (batched datagrams, fire-and-forget)")
 		routerID    = flag.Int("router", 0, "router id (unique per node)")
 		mode        = flag.String("mode", "aligned", "aligned | unaligned")
 		hashSeed    = flag.Uint64("hash-seed", 1, "deployment-wide hash seed")
@@ -82,27 +83,56 @@ func main() {
 	prefix := make([]byte, *segment)
 	crng.Read(prefix)
 
-	// A reconnecting client rides out an analysis center that is down or
-	// mid-restart: digests buffer locally and flush when the center returns.
-	client := transport.NewReconnectingClient(*center, transport.ReconnectConfig{
-		DialTimeout: 5 * time.Second,
-	})
-	defer func() {
-		if left := client.Flush(*flushWait); left > 0 {
-			log.Printf("router %d: %d digests undelivered after %v", *routerID, left, *flushWait)
+	var send func(transport.Message) error
+	switch *transportK {
+	case "tcp":
+		// A reconnecting client rides out an analysis center that is down or
+		// mid-restart: digests buffer locally and flush when the center
+		// returns.
+		client := transport.NewReconnectingClient(*center, transport.ReconnectConfig{
+			DialTimeout: 5 * time.Second,
+		})
+		defer func() {
+			if left := client.Flush(*flushWait); left > 0 {
+				log.Printf("router %d: %d digests undelivered after %v", *routerID, left, *flushWait)
+			}
+			if n := client.Stats().Reconnects.Load(); n > 0 {
+				log.Printf("router %d: reconnected to center %d times", *routerID, n)
+			}
+			if abandoned, _ := client.Close(); abandoned > 0 {
+				log.Printf("router %d: abandoned %d undelivered digests on close", *routerID, abandoned)
+			}
+			// One transport ledger line at exit so a flaky run is diagnosable
+			// from the collector side alone, without scraping the center.
+			t := client.Stats().Snapshot()
+			log.Printf("router %d: transport: frames out=%d resends=%d dropped=%d reconnects=%d",
+				*routerID, t.FramesOut, t.Resends, t.DroppedSends, t.Reconnects)
+		}()
+		send = client.Send
+	case "udp":
+		// Fire-and-forget datagrams: no retries, no buffering across center
+		// restarts. The center's quorum gate absorbs a lost digest as a
+		// degraded window, never a wrong one. The budget is the UDP maximum
+		// so any digest that fits a datagram at all goes in one piece.
+		uc, err := transport.DialUDP(*center, transport.UDPClientConfig{
+			SenderID:         uint32(*routerID) + 1,
+			MaxDatagramBytes: 65507,
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
-		if n := client.Stats().Reconnects.Load(); n > 0 {
-			log.Printf("router %d: reconnected to center %d times", *routerID, n)
-		}
-		if abandoned, _ := client.Close(); abandoned > 0 {
-			log.Printf("router %d: abandoned %d undelivered digests on close", *routerID, abandoned)
-		}
-		// One transport ledger line at exit so a flaky run is diagnosable
-		// from the collector side alone, without scraping the center.
-		t := client.Stats().Snapshot()
-		log.Printf("router %d: transport: frames out=%d resends=%d dropped=%d reconnects=%d",
-			*routerID, t.FramesOut, t.Resends, t.DroppedSends, t.Reconnects)
-	}()
+		defer func() {
+			if err := uc.Close(); err != nil {
+				log.Printf("router %d: udp close: %v", *routerID, err)
+			}
+			t := uc.Stats().Snapshot()
+			log.Printf("router %d: transport: datagrams out=%d frames out=%d dropped=%d",
+				*routerID, t.DatagramsOut, t.FramesOut, t.DroppedSends)
+		}()
+		send = uc.Send
+	default:
+		log.Fatalf("unknown transport %q (want tcp or udp)", *transportK)
+	}
 
 	switch *mode {
 	case "aligned":
@@ -119,7 +149,7 @@ func main() {
 			}
 		}
 		msg := transport.AlignedDigest{RouterID: *routerID, Epoch: *epoch, Bitmap: col.Digest()}
-		if err := client.Send(msg); err != nil {
+		if err := send(msg); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("router %d: aligned digest shipped (%d packets, fill %.3f, carry=%v)",
@@ -145,7 +175,7 @@ func main() {
 			}
 		}
 		msg := transport.UnalignedDigest{Epoch: *epoch, Digest: col.Digest(*routerID)}
-		if err := client.Send(msg); err != nil {
+		if err := send(msg); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("router %d: unaligned digest shipped (%d packets, fill %.3f, carry=%v)",

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/stats"
+	"dcstream/internal/transport"
+)
+
+// IngestParams sizes the transport ingest benchmark: the same stream of
+// aligned digests is shipped to a counting handler once over the framed TCP
+// path (one write syscall per digest) and once over the batched UDP datagram
+// path (hundreds of digests per syscall), both over loopback in-process.
+type IngestParams struct {
+	Seed    uint64
+	Digests int // digests shipped per path
+	Bits    int // aligned bitmap width per digest
+}
+
+// IngestParamsFor returns the standard sizing for a scale.
+func IngestParamsFor(seed uint64, s Scale) IngestParams {
+	p := IngestParams{Seed: seed, Bits: 512}
+	switch s {
+	case ScaleTest:
+		p.Digests = 20_000
+	case ScalePaper:
+		p.Digests = 1_000_000
+	default:
+		p.Digests = 200_000
+	}
+	return p
+}
+
+// IngestResult reports per-path throughput. Delivered counts are what the
+// server's handler actually saw: TCP is lossless by construction; the UDP
+// path may shed digests under receive-buffer pressure (that loss is the
+// protocol's stated trade, and the rate is computed over delivered digests
+// only, so loss never inflates the number).
+type IngestResult struct {
+	Params       IngestParams
+	TCPDelivered int
+	UDPDelivered int
+	TCPMillis    float64
+	UDPMillis    float64
+	TCPRate      float64 // digests/sec
+	UDPRate      float64 // digests/sec
+	Ratio        float64 // UDPRate / TCPRate
+}
+
+// Table renders the comparison.
+func (r *IngestResult) Table() string {
+	rows := [][]string{
+		{"tcp", d(r.TCPDelivered), f1(r.TCPMillis), f1(r.TCPRate)},
+		{"udp", d(r.UDPDelivered), f1(r.UDPMillis), f1(r.UDPRate)},
+	}
+	t := table(
+		fmt.Sprintf("Ingest throughput (%d digests of %d bits, loopback)", r.Params.Digests, r.Params.Bits),
+		[]string{"path", "delivered", "millis", "digests/sec"},
+		rows,
+	)
+	return t + fmt.Sprintf("udp/tcp speedup: %.1fx\n", r.Ratio)
+}
+
+// ingestVectors builds a handful of distinct bitmaps for the digest stream
+// (encoding cost is per-digest either way; the variety only keeps a
+// copy-elision path from flattering one side). Digests are constructed per
+// send rather than pre-materialized: a live quarter-million-element message
+// slice would be re-scanned by every GC mark cycle, and the fast path
+// allocates often enough that the phantom mark work would be charged almost
+// entirely to it.
+func ingestVectors(p IngestParams) []*bitvec.Vector {
+	rng := stats.NewRand(p.Seed)
+	vecs := make([]*bitvec.Vector, 8)
+	for i := range vecs {
+		vecs[i] = bitvec.New(p.Bits)
+		for j := 0; j < p.Bits/4; j++ {
+			vecs[i].Set(rng.Intn(p.Bits))
+		}
+	}
+	return vecs
+}
+
+// ingestMsg is the i-th digest of the stream.
+func ingestMsg(vecs []*bitvec.Vector, i int) transport.AlignedDigest {
+	return transport.AlignedDigest{
+		RouterID: i % 64,
+		Epoch:    1 + i/64,
+		Bitmap:   vecs[i%len(vecs)],
+	}
+}
+
+// drainCount polls the counter until it reaches want or stops moving for a
+// quiet period (UDP loss means want may never arrive). It returns the count
+// and the time the counter last advanced — the honest end of the transfer,
+// excluding the quiet wait itself.
+func drainCount(count func() int64, want int64, quiet time.Duration) (int64, time.Time) {
+	last, lastAdvance := count(), time.Now()
+	for {
+		n := count()
+		if n > last {
+			last, lastAdvance = n, time.Now()
+		}
+		if n >= want || time.Since(lastAdvance) > quiet {
+			return last, lastAdvance
+		}
+		// A coarse poll keeps this goroutine from stealing the receive loop's
+		// core; the end timestamp granularity it costs is noise at transfer
+		// scale.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RunIngest measures both paths. Rates divide delivered digests by the time
+// from first send to the handler's last observed arrival.
+func RunIngest(p IngestParams) (*IngestResult, error) {
+	if p.Digests <= 0 || p.Bits <= 0 {
+		return nil, fmt.Errorf("experiments: ingest: need positive Digests and Bits, got %+v", p)
+	}
+	vecs := ingestVectors(p)
+	res := &IngestResult{Params: p}
+
+	// TCP path: one framed Send per digest on a single connection.
+	{
+		st := new(transport.Stats)
+		srv, err := transport.ServeConfig("127.0.0.1:0", func(transport.Message, net.Addr) {},
+			transport.ServerConfig{Stats: st})
+		if err != nil {
+			return nil, err
+		}
+		cl, err := transport.Dial(srv.Addr(), 0)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < p.Digests; i++ {
+			if err := cl.Send(ingestMsg(vecs, i)); err != nil {
+				cl.Close()
+				srv.Close()
+				return nil, err
+			}
+		}
+		n, end := drainCount(st.FramesIn.Load, int64(p.Digests), 250*time.Millisecond)
+		if err := cl.Close(); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+		res.TCPDelivered = int(n)
+		res.TCPMillis = float64(end.Sub(start).Microseconds()) / 1000
+	}
+
+	// UDP path: batched datagrams near the 64 KiB ceiling, explicit flush at
+	// the end, no timer.
+	{
+		st := new(transport.Stats)
+		srv, err := transport.ServeUDPConfig("127.0.0.1:0", func(transport.Message, net.Addr) {},
+			transport.UDPServerConfig{Stats: st})
+		if err != nil {
+			return nil, err
+		}
+		cl, err := transport.DialUDP(srv.Addr(), transport.UDPClientConfig{
+			SenderID:         1,
+			MaxDatagramBytes: 60000,
+			FlushInterval:    -1,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < p.Digests; i++ {
+			if err := cl.Send(ingestMsg(vecs, i)); err != nil {
+				cl.Close()
+				srv.Close()
+				return nil, err
+			}
+			// On a single-P box a fire-and-forget sender can starve the
+			// receive loop for a whole scheduler timeslice and overflow the
+			// socket buffer; a periodic yield (a no-op when cores are free)
+			// keeps the measurement about the protocol, not the scheduler.
+			if i%512 == 511 {
+				runtime.Gosched()
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			cl.Close()
+			srv.Close()
+			return nil, err
+		}
+		n, end := drainCount(st.FramesIn.Load, int64(p.Digests), 250*time.Millisecond)
+		if err := cl.Close(); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+		res.UDPDelivered = int(n)
+		res.UDPMillis = float64(end.Sub(start).Microseconds()) / 1000
+	}
+
+	if res.TCPMillis > 0 {
+		res.TCPRate = float64(res.TCPDelivered) / (res.TCPMillis / 1000)
+	}
+	if res.UDPMillis > 0 {
+		res.UDPRate = float64(res.UDPDelivered) / (res.UDPMillis / 1000)
+	}
+	if res.TCPRate > 0 {
+		res.Ratio = res.UDPRate / res.TCPRate
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package faultinject
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"dcstream/internal/stats"
+)
+
+// UDPProxy is the datagram counterpart of Proxy: it listens on its own
+// loopback port, relays every datagram to the target, and applies the same
+// Config fault mix per datagram instead of per stream chunk. Datagram
+// boundaries are preserved — UDP loss, duplication, and reordering happen to
+// whole packets in the real world, and the transport's per-datagram sequence
+// accounting is exactly what the tests want to exercise. Truncate shortens a
+// datagram to half its bytes (a mid-packet corruption the prefilter or frame
+// CRC must catch) rather than cutting a connection, and BitFlip flips one
+// bit of the relayed copy.
+//
+// The fault schedule is deterministic per (Seed, datagram index), so a
+// failing chaos test replays the identical loss pattern.
+type UDPProxy struct {
+	cfg    Config
+	conn   *net.UDPConn
+	target *net.UDPAddr
+
+	mu          sync.Mutex
+	rng         *rand.Rand // guarded by mu
+	partitioned bool       // guarded by mu
+	received    int64      // guarded by mu
+	dropped     int64      // guarded by mu
+	forwarded   int64      // guarded by mu
+	closed      bool       // guarded by mu
+
+	wg sync.WaitGroup
+}
+
+// NewUDP starts a datagram proxy on a fresh loopback port relaying to
+// target.
+func NewUDP(target string, cfg Config) (*UDPProxy, error) {
+	ta, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	p := &UDPProxy{
+		cfg:    cfg.withDefaults(),
+		conn:   conn,
+		target: ta,
+		rng:    stats.NewRand(cfg.Seed),
+	}
+	p.wg.Add(1)
+	go p.relay()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the target.
+func (p *UDPProxy) Addr() string { return p.conn.LocalAddr().String() }
+
+// Received reports how many datagrams clients handed the proxy. Once all
+// sends are done and Received has caught up, Forwarded and Dropped are
+// final: the relay handles each datagram synchronously.
+func (p *UDPProxy) Received() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.received
+}
+
+// Dropped reports how many datagrams the proxy discarded (Drop faults plus
+// everything swallowed during a partition).
+func (p *UDPProxy) Dropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Forwarded reports how many datagrams reached the target, duplicates
+// included.
+func (p *UDPProxy) Forwarded() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forwarded
+}
+
+// Partition blackholes the link: every datagram is swallowed (and counted
+// dropped) until Heal. The sender sees nothing — exactly like UDP across a
+// dead route.
+func (p *UDPProxy) Partition() { p.setPartition(true) }
+
+// Heal ends a partition.
+func (p *UDPProxy) Heal() { p.setPartition(false) }
+
+func (p *UDPProxy) setPartition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	p.mu.Unlock()
+}
+
+// Close stops the proxy.
+func (p *UDPProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.conn.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *UDPProxy) relay() {
+	defer p.wg.Done()
+	buf := make([]byte, 65536)
+	var held []byte // datagram deferred by Reorder
+	emit := func(dg []byte) {
+		// A failed relay write is indistinguishable from the packet loss
+		// this proxy exists to inject.
+		_, _ = p.conn.WriteToUDP(dg, p.target)
+		p.mu.Lock()
+		p.forwarded++
+		p.mu.Unlock()
+	}
+	flushHeld := func() {
+		if held != nil {
+			emit(held)
+			held = nil
+		}
+	}
+	for {
+		n, _, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		dg := append([]byte(nil), buf[:n]...)
+		p.mu.Lock()
+		p.received++
+		rng := p.rng
+		dark := p.partitioned
+		p.mu.Unlock()
+		if dark {
+			p.mu.Lock()
+			p.dropped++
+			p.mu.Unlock()
+			continue
+		}
+		if p.cfg.Delay > 0 && rng.Float64() < p.cfg.Delay {
+			time.Sleep(time.Duration(rng.Intn(int(p.cfg.MaxDelay))))
+		}
+		switch {
+		case p.cfg.Drop > 0 && rng.Float64() < p.cfg.Drop:
+			p.mu.Lock()
+			p.dropped++
+			p.mu.Unlock()
+		case p.cfg.Truncate > 0 && rng.Float64() < p.cfg.Truncate:
+			flushHeld()
+			emit(dg[:n/2])
+		default:
+			if p.cfg.BitFlip > 0 && rng.Float64() < p.cfg.BitFlip {
+				i := rng.Intn(len(dg))
+				dg[i] ^= 1 << uint(rng.Intn(8))
+			}
+			if p.cfg.Reorder > 0 && held == nil && rng.Float64() < p.cfg.Reorder {
+				held = dg
+				continue
+			}
+			emit(dg)
+			flushHeld()
+			if p.cfg.Duplicate > 0 && rng.Float64() < p.cfg.Duplicate {
+				emit(dg)
+			}
+		}
+	}
+}

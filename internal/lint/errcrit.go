@@ -24,6 +24,13 @@ var errcritMethods = map[string]bool{
 	"Sync": true, "Flush": true, "Close": true,
 	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
 	"Truncate": true,
+	// UDP datagram path: sends and socket-buffer sizing. A discarded
+	// WriteToUDP error hides local send failures (ENOBUFS, unreachable) that
+	// are NOT the network loss the protocol tolerates; a discarded
+	// SetReadBuffer error hides a kernel refusing the burst headroom the
+	// epoch-boundary flood depends on.
+	"WriteToUDP": true, "WriteMsgUDP": true,
+	"SetReadBuffer": true, "SetWriteBuffer": true,
 }
 
 // errcritOsFuncs are package-level os functions on the same footing.
@@ -39,7 +46,7 @@ var errcritOsFuncs = map[string]bool{
 // a //dcslint:ignore errcrit comment stating why the error cannot lose data.
 var errcritRule = Rule{
 	Name: "errcrit",
-	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, os.Remove/Rename/...) in journal, transport, center, metrics",
+	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, WriteToUDP/Set*Buffer, os.Remove/Rename/...) in journal, transport, center, metrics",
 	Run:  runErrcrit,
 }
 

@@ -58,4 +58,7 @@ func TestGoldenErrcrit(t *testing.T) {
 	runGolden(t, "errcrit/journal", "errcrit")
 	runGolden(t, "errcrit/metrics", "errcrit")
 	runGolden(t, "errcrit/other", "errcrit")
+	// transport pins the UDP write-path coverage: datagram sends and
+	// socket-buffer sizing.
+	runGolden(t, "errcrit/transport", "errcrit")
 }

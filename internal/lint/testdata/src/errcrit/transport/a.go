@@ -1,0 +1,44 @@
+// Package transport exercises the errcrit rule's UDP coverage inside a
+// crash-safety-critical package (the "transport" path segment puts it in
+// scope): datagram sends and socket-buffer sizing return errors that must be
+// surfaced — a discarded WriteToUDP error hides local send failures that are
+// not network loss, and a discarded SetReadBuffer error hides a kernel
+// refusing burst headroom.
+package transport
+
+import (
+	"fmt"
+	"net"
+)
+
+// discards throws away every UDP write-path error the rule knows.
+func discards(c *net.UDPConn, payload []byte, to *net.UDPAddr) {
+	c.WriteToUDP(payload, to)       // want `errcrit: error from c\.WriteToUDP discarded`
+	c.WriteMsgUDP(payload, nil, to) // want `errcrit: error from c\.WriteMsgUDP discarded`
+	_ = c.SetReadBuffer(4 << 20)    // want `errcrit: error from c\.SetReadBuffer assigned to _`
+	defer c.SetWriteBuffer(1 << 20) // want `errcrit: error from c\.SetWriteBuffer discarded by defer`
+	go c.WriteToUDP(payload, to)    // want `errcrit: error from c\.WriteToUDP discarded by go`
+}
+
+// checked is the approved shape: every failure surfaces.
+func checked(c *net.UDPConn, payload []byte, to *net.UDPAddr) error {
+	if err := c.SetReadBuffer(4 << 20); err != nil {
+		return fmt.Errorf("read buffer: %w", err)
+	}
+	if _, err := c.WriteToUDP(payload, to); err != nil {
+		return fmt.Errorf("send: %w", err)
+	}
+	return nil
+}
+
+// besteffort demonstrates the documented escape hatch.
+func besteffort(c *net.UDPConn) {
+	//dcslint:ignore errcrit golden-corpus demo: buffer sizing here is best-effort tuning
+	_ = c.SetReadBuffer(1 << 20)
+}
+
+// reads shows receive-path calls are never flagged.
+func reads(c *net.UDPConn, buf []byte) int {
+	n, _, _ := c.ReadFromUDP(buf)
+	return n
+}

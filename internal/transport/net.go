@@ -157,13 +157,21 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ErrClientBroken reports a Send on a Client whose connection already
+// failed a write. The wrapped error is the original failure.
+var ErrClientBroken = errors.New("transport: client broken by earlier write failure")
+
 // Client is a collector's connection to the analysis center. It fails fast:
-// a write error leaves the client broken and surfaces to the caller. Use
-// ReconnectingClient for a collector that must ride out center restarts.
+// a write error leaves the client broken — the first failure is latched and
+// every later Send returns ErrClientBroken wrapping it, because a frame cut
+// short mid-payload desynchronizes the byte stream and every subsequent
+// frame would arrive at the center as a bad frame. Use ReconnectingClient
+// for a collector that must ride out center restarts.
 type Client struct {
 	mu           sync.Mutex
 	conn         net.Conn      // guarded by mu
 	writeTimeout time.Duration // guarded by mu
+	err          error         // guarded by mu; first write failure, sticky
 	stats        *Stats
 }
 
@@ -190,16 +198,30 @@ func (c *Client) SetWriteTimeout(d time.Duration) {
 
 // Send ships one digest message; safe for concurrent use. A stalled or dead
 // center fails the write within the write timeout instead of blocking the
-// collector forever.
+// collector forever. After any write failure the client is broken: the
+// connection may hold a partial frame, so later Sends fail with
+// ErrClientBroken instead of appending into a desynchronized stream.
 func (c *Client) Send(m Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return fmt.Errorf("%w: %w", ErrClientBroken, c.err)
+	}
 	if c.writeTimeout > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			// The fd is already dead; no bytes were written, but nothing can
+			// be written safely either.
+			c.err = err
 			return fmt.Errorf("transport: arm write deadline: %w", err)
 		}
 	}
 	if err := Write(c.conn, m); err != nil {
+		// Write validates the digest before any bytes hit the wire, so an
+		// encoding rejection leaves the stream aligned — only an actual
+		// stream write failure (possible partial frame) breaks the client.
+		if errors.Is(err, errStreamWrite) {
+			c.err = err
+		}
 		return err
 	}
 	c.stats.FramesOut.Add(1)

@@ -76,6 +76,10 @@ type ReconnectingClient struct {
 	cond   *sync.Cond
 	queue  []Message // guarded by mu
 	closed bool      // guarded by mu
+	// abandoned is how many enqueued messages Close threw away; a Flush
+	// racing (or following) Close reports them instead of claiming
+	// delivery. guarded by mu
+	abandoned int
 
 	closedCh chan struct{}
 	done     chan struct{}
@@ -127,20 +131,42 @@ func (c *ReconnectingClient) Pending() int {
 	return len(c.queue)
 }
 
-// Flush blocks until every enqueued message has been written to the center
-// or the timeout elapses; it returns the number still pending. A sender
-// mid-backoff is woken immediately, so a center that just came back is
-// retried now rather than after the remaining backoff sleep.
+// Flush blocks until every enqueued message has been written to the center,
+// the client is closed, or the timeout elapses; it returns the number of
+// messages not delivered. A sender mid-backoff is woken immediately, so a
+// center that just came back is retried now rather than after the remaining
+// backoff sleep.
+//
+// A zero return means every message enqueued before the call was written.
+// If Close ran (before or during the Flush), the messages Close abandoned
+// are counted in the return value — a concurrent Close empties the queue,
+// but that is abandonment, not delivery, and Flush never reports it as
+// success. The wait is condition-driven: Flush parks on the queue's
+// condition variable and wakes on every pop-to-empty, Close, or timeout,
+// never polling.
 func (c *ReconnectingClient) Flush(timeout time.Duration) int {
 	c.kick()
-	deadline := time.Now().Add(timeout)
-	for {
-		n := c.Pending()
-		if n == 0 || time.Now().After(deadline) {
-			return n
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	done := make(chan struct{})
+	defer close(done)
+	expired := false
+	go func() {
+		select {
+		case <-timer.C:
+			c.mu.Lock()
+			expired = true
+			c.mu.Unlock()
+			c.cond.Broadcast()
+		case <-done:
 		}
-		time.Sleep(5 * time.Millisecond)
+	}()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) > 0 && !c.closed && !expired {
+		c.cond.Wait()
 	}
+	return c.abandoned + len(c.queue)
 }
 
 // kick wakes a sender sleeping out a backoff; a no-op when none is.
@@ -162,6 +188,7 @@ func (c *ReconnectingClient) Close() (abandoned int, err error) {
 	}
 	c.closed = true
 	abandoned = len(c.queue)
+	c.abandoned = abandoned
 	c.queue = nil
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -187,11 +214,15 @@ func (c *ReconnectingClient) head() (m Message, ok bool) {
 	return c.queue[0], true
 }
 
-// pop removes the head after a successful write.
+// pop removes the head after a successful write (or a permanent encoding
+// rejection) and wakes Flush waiters once the queue drains.
 func (c *ReconnectingClient) pop() {
 	c.mu.Lock()
 	if len(c.queue) > 0 {
 		c.queue = c.queue[1:]
+	}
+	if len(c.queue) == 0 {
+		c.cond.Broadcast()
 	}
 	c.mu.Unlock()
 }
@@ -241,6 +272,17 @@ func (c *ReconnectingClient) run() {
 			}
 		}
 		if conn == nil {
+			// Drain a stale Flush kick posted while no sender was sleeping:
+			// this dial attempt satisfies its intent, so it must not also
+			// cut short the backoff sleep if the dial fails — a remembered
+			// token would otherwise degrade capped backoff into a near-hot
+			// dial loop under repeated Flush calls. Only kicks posted after
+			// this point (i.e. while the sender actually sleeps) wake it.
+			select {
+			case <-c.wakeCh:
+			default:
+			}
+			c.cfg.Stats.DialAttempts.Add(1)
 			nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 			if err != nil {
 				if !c.sleep(backoff) {
@@ -277,6 +319,15 @@ func (c *ReconnectingClient) run() {
 		}
 		headAttempted = true
 		if err := Write(conn, m); err != nil {
+			if !errors.Is(err, errStreamWrite) {
+				// Encoding rejection: no bytes hit the wire and no retry can
+				// ever succeed, so drop the message instead of redialing
+				// forever on an unserializable head.
+				headAttempted = false
+				c.cfg.Stats.DroppedSends.Add(1)
+				c.pop()
+				continue
+			}
 			//dcslint:ignore errcrit the write already failed and is being retried; the close error adds nothing
 			conn.Close()
 			conn = nil

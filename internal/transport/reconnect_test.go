@@ -199,6 +199,129 @@ func TestFlushWakesBackoffImmediately(t *testing.T) {
 	cs.waitFor(t, 1, 2*time.Second)
 }
 
+// TestBackoffSurvivesKickStorm is the stale-kick regression test: Flush
+// calls that land while the sender is NOT sleeping (here: idle in head()
+// with an empty queue) leave a remembered wake token behind. That token must
+// be consumed by the next dial attempt, not spent cutting short the backoff
+// sleep after that dial fails — or a periodic Flush degrades capped
+// exponential backoff into a hot dial loop against a down center.
+func TestBackoffSurvivesKickStorm(t *testing.T) {
+	client := NewReconnectingClient("127.0.0.1:1", ReconnectConfig{
+		DialTimeout:    50 * time.Millisecond,
+		InitialBackoff: 10 * time.Second,
+		MaxBackoff:     10 * time.Second,
+	})
+	defer client.Close()
+
+	// Storm of flushes before anything is queued: each returns immediately
+	// (nothing pending) but posts a kick; the buffered channel retains one.
+	for i := 0; i < 50; i++ {
+		client.Flush(0)
+	}
+	if err := client.Send(AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: randomVector(1, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	// The sender dials once (refused), then must sit out the full 10s
+	// backoff: the stale token may not buy it a second attempt.
+	deadline := time.Now().Add(2 * time.Second)
+	for client.Stats().DialAttempts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never attempted a dial")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(700 * time.Millisecond)
+	if n := client.Stats().DialAttempts.Load(); n != 1 {
+		t.Fatalf("%d dial attempts within the 10s backoff window, want 1 — a stale Flush kick cut the sleep short", n)
+	}
+}
+
+// TestFlushReportsAbandonedOnClose: a Flush blocked on an unreachable center
+// must wake promptly when Close runs and report the abandoned messages as
+// undelivered — the old implementation busy-polled and, worse, returned 0
+// because Close had emptied the queue it was counting.
+func TestFlushReportsAbandonedOnClose(t *testing.T) {
+	client := NewReconnectingClient("127.0.0.1:1", ReconnectConfig{
+		DialTimeout:    50 * time.Millisecond,
+		InitialBackoff: 10 * time.Second,
+		MaxBackoff:     10 * time.Second,
+	})
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := client.Send(AlignedDigest{RouterID: i, Epoch: 1, Bitmap: randomVector(uint64(i+1), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := make(chan int, 1)
+	go func() { res <- client.Flush(10 * time.Second) }()
+	time.Sleep(50 * time.Millisecond)
+	abandoned, err := client.Close()
+	if err != nil || abandoned != n {
+		t.Fatalf("Close = (%d, %v), want (%d, nil)", abandoned, err, n)
+	}
+	select {
+	case left := <-res:
+		if left != n {
+			t.Fatalf("Flush reported %d undelivered, want %d — Close's abandonment must not read as delivery", left, n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Flush still blocked 2s after Close — the wait never woke")
+	}
+	// A Flush issued after Close reports the same abandonment immediately.
+	if left := client.Flush(0); left != n {
+		t.Fatalf("post-Close Flush = %d, want %d", left, n)
+	}
+}
+
+// scriptedConn is a net.Conn whose Write fails from a chosen call number on;
+// the embedded nil net.Conn panics on anything a test should not touch.
+type scriptedConn struct {
+	net.Conn
+	writes   int
+	failFrom int // fail writes numbered >= failFrom; 0 means never
+}
+
+func (c *scriptedConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.failFrom > 0 && c.writes >= c.failFrom {
+		return 0, errors.New("synthetic connection failure")
+	}
+	return len(p), nil
+}
+
+// TestSendStickyAfterWriteFailure is the fail-fast regression test: a frame
+// cut short mid-payload leaves the byte stream desynchronized, so every
+// later Send must refuse with ErrClientBroken instead of writing frames the
+// center will misparse.
+func TestSendStickyAfterWriteFailure(t *testing.T) {
+	// Write #1 (header) succeeds, write #2 (payload) dies: the wire now
+	// holds a headless partial frame.
+	c := &Client{conn: &scriptedConn{failFrom: 2}, stats: new(Stats)}
+	d := AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(1, 256)}
+	err := c.Send(d)
+	if err == nil || errors.Is(err, ErrClientBroken) {
+		t.Fatalf("first failure should surface the raw write error, got %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Send(d); !errors.Is(err, ErrClientBroken) {
+			t.Fatalf("Send after mid-payload failure: %v, want ErrClientBroken", err)
+		}
+	}
+	if n := c.Stats().FramesOut.Load(); n != 0 {
+		t.Fatalf("broken client counted %d frames out", n)
+	}
+
+	// An encoding rejection never touches the wire, so it must NOT latch:
+	// the stream is still aligned and the next valid digest goes through.
+	c2 := &Client{conn: &scriptedConn{}, stats: new(Stats)}
+	if err := c2.Send(AlignedDigest{RouterID: 2}); err == nil || errors.Is(err, ErrClientBroken) {
+		t.Fatalf("nil bitmap: %v", err)
+	}
+	if err := c2.Send(d); err != nil {
+		t.Fatalf("encoding rejection latched the client: %v", err)
+	}
+}
+
 // TestServerReapsIdleConnections: a collector that dials and goes silent is
 // disconnected by the read deadline instead of holding a goroutine forever.
 func TestServerReapsIdleConnections(t *testing.T) {

@@ -36,10 +36,40 @@ type Stats struct {
 	// AbandonedOnClose counts messages still undelivered when Close ran —
 	// the caller chose to stop before Flush emptied the buffer.
 	AbandonedOnClose metrics.Counter
+	// DialAttempts counts ReconnectingClient connection attempts, failed or
+	// not. Against a healthy center this tracks Reconnects+1; a rate far
+	// above the configured backoff ceiling is the signature of something
+	// defeating the backoff.
+	DialAttempts metrics.Counter
 	// ConnLifetimeSeconds observes how long each server-side collector
 	// connection lived, accept to close. Short lifetimes under load are the
 	// signature of a flapping collector or an over-aggressive ReadTimeout.
 	ConnLifetimeSeconds metrics.Histogram
+
+	// DatagramsOut counts datagrams a BatchingUDPClient handed to the
+	// kernel; each carries one or more digest frames (see FramesOut).
+	DatagramsOut metrics.Counter
+	// DatagramsIn counts datagrams a UDPServer accepted past the prefilter
+	// and header decode.
+	DatagramsIn metrics.Counter
+	// DatagramsRejected counts datagrams the cheap magic+length prefilter
+	// (or header decode) refused before any allocation — port scans, stray
+	// traffic, truncated garbage.
+	DatagramsRejected metrics.Counter
+	// DatagramsLost counts sequence-number gaps observed per sender: each
+	// missing seq is one datagram (and all its frames) presumed dropped in
+	// flight. A datagram that later arrives out of order is counted in
+	// DatagramsLate but not subtracted here — the counter is a loss
+	// estimate for monitoring, not a ledger.
+	DatagramsLost metrics.Counter
+	// DatagramsLate counts datagrams arriving with a sequence number at or
+	// below the sender's highest seen — reordered or duplicated in flight.
+	// Their frames are still delivered; the center's duplicate accounting
+	// resolves them.
+	DatagramsLate metrics.Counter
+	// FramesPerDatagram observes how many digest frames each accepted
+	// datagram carried — the batching efficacy of the UDP path.
+	FramesPerDatagram metrics.Histogram
 }
 
 // Register exposes every counter (and the connection-lifetime histogram) on
@@ -69,8 +99,22 @@ func (s *Stats) Register(r *metrics.Registry, ns string) {
 		"messages refused by a full reconnect buffer", &s.DroppedSends)
 	r.RegisterCounter(ns+"_abandoned_on_close_total",
 		"messages still undelivered when Close ran", &s.AbandonedOnClose)
+	r.RegisterCounter(ns+"_dial_attempts_total",
+		"reconnecting-client connection attempts, failed or not", &s.DialAttempts)
 	r.RegisterHistogram(ns+"_conn_lifetime_seconds",
 		"server-side collector connection lifetimes, accept to close", &s.ConnLifetimeSeconds)
+	r.RegisterCounter(ns+"_datagrams_out_total",
+		"datagrams handed to the kernel by the batching UDP client", &s.DatagramsOut)
+	r.RegisterCounter(ns+"_datagrams_in_total",
+		"datagrams accepted past the UDP prefilter and header decode", &s.DatagramsIn)
+	r.RegisterCounter(ns+"_datagrams_rejected_total",
+		"datagrams refused by the magic+length prefilter before allocation", &s.DatagramsRejected)
+	r.RegisterCounter(ns+"_datagrams_lost_total",
+		"datagrams presumed dropped in flight (per-sender sequence gaps)", &s.DatagramsLost)
+	r.RegisterCounter(ns+"_datagrams_late_total",
+		"datagrams arriving reordered or duplicated (seq at or below highest seen)", &s.DatagramsLate)
+	r.RegisterHistogram(ns+"_frames_per_datagram",
+		"digest frames carried per accepted datagram", &s.FramesPerDatagram)
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
@@ -78,20 +122,29 @@ type Snapshot struct {
 	FramesIn, FramesOut, BadFrames                      int64
 	ConnsAccepted, ConnsReaped                          int64
 	Reconnects, Resends, DroppedSends, AbandonedOnClose int64
+	DialAttempts                                        int64
+	DatagramsOut, DatagramsIn, DatagramsRejected        int64
+	DatagramsLost, DatagramsLate                        int64
 }
 
 // Snapshot reads every counter once. Counters advance independently, so the
 // snapshot is not a single atomic cut — fine for monitoring.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		FramesIn:         s.FramesIn.Load(),
-		FramesOut:        s.FramesOut.Load(),
-		BadFrames:        s.BadFrames.Load(),
-		ConnsAccepted:    s.ConnsAccepted.Load(),
-		ConnsReaped:      s.ConnsReaped.Load(),
-		Reconnects:       s.Reconnects.Load(),
-		Resends:          s.Resends.Load(),
-		DroppedSends:     s.DroppedSends.Load(),
-		AbandonedOnClose: s.AbandonedOnClose.Load(),
+		FramesIn:          s.FramesIn.Load(),
+		FramesOut:         s.FramesOut.Load(),
+		BadFrames:         s.BadFrames.Load(),
+		ConnsAccepted:     s.ConnsAccepted.Load(),
+		ConnsReaped:       s.ConnsReaped.Load(),
+		Reconnects:        s.Reconnects.Load(),
+		Resends:           s.Resends.Load(),
+		DroppedSends:      s.DroppedSends.Load(),
+		AbandonedOnClose:  s.AbandonedOnClose.Load(),
+		DialAttempts:      s.DialAttempts.Load(),
+		DatagramsOut:      s.DatagramsOut.Load(),
+		DatagramsIn:       s.DatagramsIn.Load(),
+		DatagramsRejected: s.DatagramsRejected.Load(),
+		DatagramsLost:     s.DatagramsLost.Load(),
+		DatagramsLate:     s.DatagramsLate.Load(),
 	}
 }

@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPServerConfig tunes the analysis-center datagram sink. The zero value is
+// usable.
+type UDPServerConfig struct {
+	// ReadBuffer is the kernel receive buffer size requested for the socket
+	// (best effort — the kernel may clamp it). A deep buffer is what absorbs
+	// a fleet of collectors flushing at an epoch boundary; the default is
+	// 4 MiB. Negative leaves the kernel default untouched.
+	ReadBuffer int
+	// Stats, when non-nil, receives the server's counters. Several servers
+	// may share one Stats.
+	Stats *Stats
+}
+
+func (c UDPServerConfig) withDefaults() UDPServerConfig {
+	if c.ReadBuffer == 0 {
+		c.ReadBuffer = 4 << 20
+	}
+	if c.Stats == nil {
+		c.Stats = new(Stats)
+	}
+	return c
+}
+
+// batchReceiver abstracts the receive syscall so the read loop is written
+// once against a batch: the stdlib implementation fills one datagram per
+// call, and a recvmmsg-style implementation can fill many without the
+// decode path changing.
+type batchReceiver interface {
+	// recv reads up to len(bufs) datagrams, each bufs[i] sized maxDatagram.
+	// It records datagram lengths in lens and senders in addrs, returning
+	// how many entries it filled. An error means the socket is closed.
+	recv(bufs [][]byte, lens []int, addrs []net.Addr) (int, error)
+}
+
+// singleReceiver is the portable stdlib receiver: one ReadFromUDP per recv.
+type singleReceiver struct{ conn *net.UDPConn }
+
+func (r singleReceiver) recv(bufs [][]byte, lens []int, addrs []net.Addr) (int, error) {
+	n, addr, err := r.conn.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	lens[0] = n
+	addrs[0] = addr
+	return 1, nil
+}
+
+// UDPServer is the analysis center's datagram sink: the lossy, cheap
+// counterpart of Server. Every datagram passing the prefilter has its frames
+// decoded and fed to the handler; sequence numbers per sender feed the loss
+// and reordering counters so operators can see how degraded the ingest is,
+// while the center's quorum gate keeps the verdicts honest under that loss.
+type UDPServer struct {
+	conn    *net.UDPConn
+	rx      batchReceiver
+	handler Handler
+	cfg     UDPServerConfig
+
+	mu    sync.Mutex
+	peers map[uint32]uint64 // highest seq seen per sender; guarded by mu
+
+	wg sync.WaitGroup
+}
+
+// ServeUDP starts a datagram server on addr (e.g. "127.0.0.1:0" to pick a
+// free port) with default settings.
+func ServeUDP(addr string, handler Handler) (*UDPServer, error) {
+	return ServeUDPConfig(addr, handler, UDPServerConfig{})
+}
+
+// ServeUDPConfig is ServeUDP with explicit buffer sizing and stats.
+func ServeUDPConfig(addr string, handler Handler, cfg UDPServerConfig) (*UDPServer, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.ReadBuffer > 0 {
+		//dcslint:ignore errcrit best-effort socket tuning; a refused or clamped buffer degrades burst absorption, not correctness, and loss stays visible in DatagramsLost
+		_ = conn.SetReadBuffer(cfg.ReadBuffer)
+	}
+	s := &UDPServer{
+		conn:    conn,
+		rx:      singleReceiver{conn: conn},
+		handler: handler,
+		cfg:     cfg,
+		peers:   make(map[uint32]uint64),
+	}
+	s.wg.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *UDPServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Stats returns the server's counters (the shared Stats when one was passed
+// in UDPServerConfig).
+func (s *UDPServer) Stats() *Stats { return s.cfg.Stats }
+
+func (s *UDPServer) readLoop() {
+	defer s.wg.Done()
+	// One backing allocation reused for the socket's whole life: the batch
+	// geometry matches what a recvmmsg receiver wants, and the stdlib
+	// receiver simply fills one slot per call.
+	const batch = 32
+	backing := make([]byte, batch*maxDatagram)
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = backing[i*maxDatagram : (i+1)*maxDatagram]
+	}
+	lens := make([]int, batch)
+	addrs := make([]net.Addr, batch)
+	for {
+		n, err := s.rx.recv(bufs, lens, addrs)
+		if err != nil {
+			return // socket closed
+		}
+		for i := 0; i < n; i++ {
+			s.handleDatagram(bufs[i][:lens[i]], addrs[i])
+		}
+	}
+}
+
+// handleDatagram runs one received datagram through prefilter, sequence
+// accounting, and frame decode. Frames that decode cleanly are delivered
+// even when a later frame in the same datagram is corrupt.
+func (s *UDPServer) handleDatagram(buf []byte, from net.Addr) {
+	if !prefilterDatagram(buf) {
+		s.cfg.Stats.DatagramsRejected.Add(1)
+		return
+	}
+	s.cfg.Stats.DatagramsIn.Add(1)
+	s.accountSeq(parseDatagramHeader(buf))
+	_, decoded, err := decodeDatagram(buf, func(m Message) {
+		s.cfg.Stats.FramesIn.Add(1)
+		s.handler(m, from)
+	})
+	s.cfg.Stats.FramesPerDatagram.Observe(float64(decoded))
+	if err != nil {
+		s.cfg.Stats.BadFrames.Add(1)
+	}
+}
+
+// accountSeq updates the per-sender sequence high-water mark: gaps above it
+// count as lost datagrams, arrivals at or below it as late (reordered or
+// duplicated). Senders number from 1, so a first contact at seq N also
+// reveals N-1 leading losses.
+func (s *UDPServer) accountSeq(h DatagramHeader) {
+	s.mu.Lock()
+	last := s.peers[h.Sender]
+	if h.Seq > last {
+		if h.Seq > last+1 {
+			s.cfg.Stats.DatagramsLost.Add(int64(h.Seq - last - 1))
+		}
+		s.peers[h.Sender] = h.Seq
+	} else {
+		s.cfg.Stats.DatagramsLate.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the read loop and waits for in-flight handlers to drain.
+func (s *UDPServer) Close() error {
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// UDPClientConfig tunes a BatchingUDPClient. The zero value is usable
+// (sender id 0 is legal, just indistinct).
+type UDPClientConfig struct {
+	// SenderID identifies this collector in every datagram header; the
+	// server keys loss accounting by it, so give each collector a distinct
+	// id.
+	SenderID uint32
+	// MaxDatagramBytes caps each datagram, header included. Zero means 1400
+	// (safe under common path MTUs — a fragmented datagram is lost whole if
+	// any fragment drops); values above 65507 are clamped to it. Raise it
+	// toward the ceiling on loopback or jumbo-frame fabrics to batch harder.
+	MaxDatagramBytes int
+	// FlushInterval bounds how long a frame may sit buffered before the
+	// datagram is sent anyway. Zero means 2ms; negative disables the timer
+	// (explicit Flush only).
+	FlushInterval time.Duration
+	// Stats, when non-nil, receives the client's counters.
+	Stats *Stats
+}
+
+func (c UDPClientConfig) withDefaults() UDPClientConfig {
+	if c.MaxDatagramBytes == 0 {
+		c.MaxDatagramBytes = 1400
+	}
+	if c.MaxDatagramBytes > maxDatagram {
+		c.MaxDatagramBytes = maxDatagram
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.Stats == nil {
+		c.Stats = new(Stats)
+	}
+	return c
+}
+
+// BatchingUDPClient packs digest frames into datagrams: Send appends to the
+// current datagram and a full buffer (or the flush timer, or an explicit
+// Flush) emits it as a single write — one syscall for many digests, which is
+// the entire point of the UDP path. Delivery is fire-and-forget: transmit
+// failures are counted in DroppedSends, never returned from Send, because a
+// lossy transport that also demanded per-message error handling would have
+// the worst properties of both paths. Callers that cannot tolerate loss use
+// TCP.
+type BatchingUDPClient struct {
+	conn net.Conn
+	cfg  UDPClientConfig
+
+	mu     sync.Mutex
+	buf    []byte // current datagram: header already laid down; guarded by mu
+	frames int    // frames in buf; guarded by mu
+	seq    uint64 // datagrams emitted; guarded by mu
+	closed bool   // guarded by mu
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// DialUDP creates a batching client for the given server address. No
+// handshake happens — UDP "dialing" only fixes the destination — so the
+// server may start later; datagrams sent before it binds are simply lost,
+// like any others.
+func DialUDP(addr string, cfg UDPClientConfig) (*BatchingUDPClient, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxDatagramBytes < udpHeaderLen+headerLen {
+		return nil, fmt.Errorf("transport: datagram budget %d cannot hold any frame", cfg.MaxDatagramBytes)
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial udp %s: %w", addr, err)
+	}
+	c := &BatchingUDPClient{
+		conn: conn,
+		cfg:  cfg,
+		buf:  make([]byte, udpHeaderLen, cfg.MaxDatagramBytes),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	putDatagramHeader(c.buf, DatagramHeader{Sender: cfg.SenderID})
+	if cfg.FlushInterval > 0 {
+		go c.flushLoop()
+	} else {
+		close(c.done)
+	}
+	return c, nil
+}
+
+// Stats returns the client's counters.
+func (c *BatchingUDPClient) Stats() *Stats { return c.cfg.Stats }
+
+// Send appends one digest frame to the current datagram, emitting the
+// datagram first if the frame would not fit. Errors report only local
+// conditions — a malformed digest, a frame too large for the datagram
+// budget (use TCP for digests that big), or a closed client; transmit
+// failures surface in Stats.DroppedSends, not here.
+func (c *BatchingUDPClient) Send(m Message) error {
+	n, err := frameWireLen(m)
+	if err != nil {
+		return err
+	}
+	if udpHeaderLen+n > c.cfg.MaxDatagramBytes {
+		return fmt.Errorf("transport: %d-byte frame exceeds the %d-byte datagram budget; raise MaxDatagramBytes or use the TCP path",
+			n, c.cfg.MaxDatagramBytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if len(c.buf)+n > c.cfg.MaxDatagramBytes {
+		c.flushLocked()
+	}
+	buf, err := appendFrame(c.buf, m)
+	if err != nil {
+		return err
+	}
+	c.buf = buf
+	c.frames++
+	return nil
+}
+
+// Pending returns the number of frames buffered in the current datagram.
+func (c *BatchingUDPClient) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}
+
+// Flush emits the current datagram now; a no-op when nothing is buffered.
+func (c *BatchingUDPClient) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.flushLocked()
+	return nil
+}
+
+// flushLocked patches the count and sequence number into the staged header
+// and hands the datagram to the kernel in one write. The buffer is reset
+// either way: on a transmit failure the frames are dropped and counted,
+// exactly like an in-flight datagram the network ate.
+func (c *BatchingUDPClient) flushLocked() {
+	if c.frames == 0 {
+		return
+	}
+	c.seq++
+	binary.LittleEndian.PutUint16(c.buf[6:], uint16(c.frames))
+	binary.LittleEndian.PutUint64(c.buf[12:], c.seq)
+	frames := c.frames
+	_, err := c.conn.Write(c.buf)
+	c.buf = c.buf[:udpHeaderLen]
+	c.frames = 0
+	if err != nil {
+		c.cfg.Stats.DroppedSends.Add(int64(frames))
+		return
+	}
+	c.cfg.Stats.DatagramsOut.Add(1)
+	c.cfg.Stats.FramesOut.Add(int64(frames))
+}
+
+// flushLoop bounds buffered-frame latency when the caller's send rate is too
+// low to fill datagrams.
+func (c *BatchingUDPClient) flushLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.tickFlush()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+func (c *BatchingUDPClient) tickFlush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.flushLocked()
+	}
+}
+
+// Close flushes any buffered frames and closes the socket. Closing an
+// already-closed client returns nil.
+func (c *BatchingUDPClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.flushLocked()
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+	return c.conn.Close()
+}

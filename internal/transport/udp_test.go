@@ -1,0 +1,335 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/unaligned"
+)
+
+// collectUDP starts a UDPServer that records every delivered message.
+func collectUDP(t *testing.T, cfg UDPServerConfig) (*UDPServer, func() []Message) {
+	t.Helper()
+	var mu sync.Mutex
+	var msgs []Message
+	srv, err := ServeUDPConfig("127.0.0.1:0", func(m Message, _ net.Addr) {
+		mu.Lock()
+		msgs = append(msgs, m)
+		mu.Unlock()
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, func() []Message {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Message(nil), msgs...)
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes. UDP delivery on
+// loopback is reliable in practice but asynchronous, so tests wait rather
+// than sleep.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestUDPRoundTripBatchesFrames(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	c, err := DialUDP(srv.Addr(), UDPClientConfig{
+		SenderID:         7,
+		MaxDatagramBytes: 60000,
+		FlushInterval:    -1, // explicit flush only: the whole burst must batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 40
+	want := make([]*bitvec.Vector, n)
+	for i := 0; i < n; i++ {
+		want[i] = randomVector(uint64(i+1), 512)
+		if err := c.Send(AlignedDigest{RouterID: i, Epoch: 3, Bitmap: want[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(got()) == n })
+
+	for _, m := range got() {
+		d, ok := m.(AlignedDigest)
+		if !ok {
+			t.Fatalf("delivered %T", m)
+		}
+		if d.Epoch != 3 || !bitvec.Equal(d.Bitmap, want[d.RouterID]) {
+			t.Fatalf("router %d bitmap corrupted in flight", d.RouterID)
+		}
+	}
+
+	// The entire burst fits one datagram at this budget: batching must have
+	// produced exactly one send, not n.
+	cs, ss := c.Stats().Snapshot(), srv.Stats().Snapshot()
+	if cs.DatagramsOut != 1 || cs.FramesOut != n {
+		t.Fatalf("client sent %d datagrams / %d frames, want 1 / %d", cs.DatagramsOut, cs.FramesOut, n)
+	}
+	if ss.DatagramsIn != 1 || ss.FramesIn != n || ss.DatagramsRejected != 0 {
+		t.Fatalf("server stats %+v, want one datagram with %d frames", ss, n)
+	}
+}
+
+func TestUDPUnalignedRoundTrip(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	c, err := DialUDP(srv.Addr(), UDPClientConfig{MaxDatagramBytes: 60000, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	dg := &unaligned.Digest{RouterID: 5, Rows: make([][]*bitvec.Vector, 3)}
+	seed := uint64(100)
+	for g := range dg.Rows {
+		dg.Rows[g] = make([]*bitvec.Vector, 4)
+		for a := range dg.Rows[g] {
+			seed++
+			dg.Rows[g][a] = randomVector(seed, 1024)
+		}
+	}
+	if err := c.Send(UnalignedDigest{Epoch: 9, Digest: dg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(got()) == 1 })
+	m := got()[0].(UnalignedDigest)
+	if m.Epoch != 9 || m.Digest.RouterID != 5 {
+		t.Fatal("header mismatch")
+	}
+	for g := range dg.Rows {
+		for a := range dg.Rows[g] {
+			if !bitvec.Equal(m.Digest.Rows[g][a], dg.Rows[g][a]) {
+				t.Fatalf("row (%d,%d) mismatch", g, a)
+			}
+		}
+	}
+}
+
+// TestUDPSendSplitsAtBudget proves a frame that would overflow the datagram
+// budget flushes the buffered frames first instead of building an oversized
+// datagram.
+func TestUDPSendSplitsAtBudget(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	c, err := DialUDP(srv.Addr(), UDPClientConfig{MaxDatagramBytes: 400, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Each frame is 13+8+4+16*8 = 153 bytes; two fit a 400-byte budget with
+	// the 20-byte header, three do not.
+	for i := 0; i < 6; i++ {
+		if err := c.Send(AlignedDigest{RouterID: i, Epoch: 1, Bitmap: randomVector(uint64(i+1), 1024)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(got()) == 6 })
+	if out := c.Stats().Snapshot().DatagramsOut; out != 3 {
+		t.Fatalf("sent %d datagrams, want 3 (two 153-byte frames per 400-byte budget)", out)
+	}
+	if lost := srv.Stats().Snapshot().DatagramsLost; lost != 0 {
+		t.Fatalf("loopback delivery counted %d lost datagrams", lost)
+	}
+}
+
+func TestUDPOversizedFrameRejected(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	c, err := DialUDP(srv.Addr(), UDPClientConfig{MaxDatagramBytes: 256, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Send(AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(1, 1<<15)})
+	if err == nil || !strings.Contains(err.Error(), "datagram budget") {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// The rejection must not have staged partial bytes: a following small
+	// frame still round-trips alone.
+	if err := c.Send(AlignedDigest{RouterID: 2, Epoch: 1, Bitmap: randomVector(2, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(got()) == 1 })
+	if d := got()[0].(AlignedDigest); d.RouterID != 2 {
+		t.Fatalf("delivered router %d, want 2", d.RouterID)
+	}
+}
+
+// TestUDPPrefilterRejectsGarbage throws non-protocol datagrams at the server
+// and checks they are counted rejected without reaching the handler — the
+// cheap gate port scans and stray traffic hit.
+func TestUDPPrefilterRejectsGarbage(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	short := []byte{1, 2, 3}
+	badMagic := make([]byte, udpHeaderLen+headerLen)
+	putDatagramHeader(badMagic, DatagramHeader{Count: 1, Seq: 1})
+	badMagic[0] = 'X'
+	badVersion := make([]byte, udpHeaderLen+headerLen)
+	putDatagramHeader(badVersion, DatagramHeader{Count: 1, Seq: 1})
+	badVersion[4] = 99
+	zeroCount := make([]byte, udpHeaderLen+headerLen)
+	putDatagramHeader(zeroCount, DatagramHeader{Count: 0, Seq: 1})
+	lyingCount := make([]byte, udpHeaderLen+headerLen)
+	putDatagramHeader(lyingCount, DatagramHeader{Count: 9, Seq: 1}) // 9 frames cannot fit one header's worth of bytes
+
+	for _, p := range [][]byte{short, badMagic, badVersion, zeroCount, lyingCount} {
+		if _, err := conn.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return srv.Stats().Snapshot().DatagramsRejected == 5 })
+	s := srv.Stats().Snapshot()
+	if s.DatagramsIn != 0 || s.FramesIn != 0 || len(got()) != 0 {
+		t.Fatalf("garbage reached past the prefilter: %+v, %d messages delivered", s, len(got()))
+	}
+}
+
+// TestUDPCorruptFrameCountedBad flips payload bytes inside an otherwise valid
+// datagram: earlier clean frames must still be delivered, the corrupt one
+// counted in BadFrames.
+func TestUDPCorruptFrameCountedBad(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	buf := make([]byte, udpHeaderLen)
+	putDatagramHeader(buf, DatagramHeader{Sender: 1, Seq: 1, Count: 2})
+	buf, err = appendFrame(buf, AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(1, 256)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(buf)
+	buf, err = appendFrame(buf, AlignedDigest{RouterID: 2, Epoch: 1, Bitmap: randomVector(2, 256)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[cut+headerLen] ^= 0xFF // corrupt the second frame's payload
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return srv.Stats().Snapshot().BadFrames == 1 })
+	s := srv.Stats().Snapshot()
+	if s.DatagramsIn != 1 || s.FramesIn != 1 {
+		t.Fatalf("stats %+v, want 1 datagram in, 1 clean frame", s)
+	}
+	msgs := got()
+	if len(msgs) != 1 || msgs[0].(AlignedDigest).RouterID != 1 {
+		t.Fatalf("delivered %d messages, want only the clean first frame", len(msgs))
+	}
+}
+
+// TestUDPSequenceAccounting hand-crafts datagrams with gappy and repeated
+// sequence numbers and checks the lost/late ledgers.
+func TestUDPSequenceAccounting(t *testing.T) {
+	srv, _ := collectUDP(t, UDPServerConfig{})
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	send := func(sender uint32, seq uint64) {
+		t.Helper()
+		buf := make([]byte, udpHeaderLen)
+		putDatagramHeader(buf, DatagramHeader{Sender: sender, Seq: seq, Count: 1})
+		buf, err := appendFrame(buf, AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(seq, 64)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	send(1, 1) // clean start
+	send(1, 4) // 2 and 3 lost
+	send(1, 3) // one of them shows up late
+	send(1, 4) // duplicate
+	send(2, 3) // second sender first heard at 3: leading 1 and 2 lost
+	waitFor(t, 2*time.Second, func() bool { return srv.Stats().Snapshot().DatagramsIn == 5 })
+	s := srv.Stats().Snapshot()
+	if s.DatagramsLost != 4 || s.DatagramsLate != 2 {
+		t.Fatalf("lost=%d late=%d, want lost=4 (2,3 from sender 1; 1,2 from sender 2) late=2", s.DatagramsLost, s.DatagramsLate)
+	}
+	// Late and duplicated frames are still delivered; the center's duplicate
+	// accounting is the place that resolves them.
+	if s.FramesIn != 5 {
+		t.Fatalf("FramesIn=%d, want 5 (late and duplicate frames delivered)", s.FramesIn)
+	}
+}
+
+// TestUDPFlushTimer proves a lone buffered frame does not sit forever when
+// the send rate is too low to fill a datagram.
+func TestUDPFlushTimer(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	c, err := DialUDP(srv.Addr(), UDPClientConfig{FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(AlignedDigest{RouterID: 3, Epoch: 2, Bitmap: randomVector(9, 128)}); err != nil {
+		t.Fatal(err)
+	}
+	// No explicit Flush: the timer must emit it.
+	waitFor(t, 2*time.Second, func() bool { return len(got()) == 1 })
+}
+
+func TestUDPCloseFlushesAndSticks(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{})
+	c, err := DialUDP(srv.Addr(), UDPClientConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(AlignedDigest{RouterID: 8, Epoch: 1, Bitmap: randomVector(3, 128)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(got()) == 1 })
+	if err := c.Send(AlignedDigest{RouterID: 9, Epoch: 1, Bitmap: randomVector(4, 128)}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

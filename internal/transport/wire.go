@@ -39,10 +39,23 @@ const (
 	// cannot make the center allocate unbounded memory. The largest
 	// legitimate digest (a 4M-bit aligned bitmap) is 512 KiB.
 	maxFrame = 64 << 20
+
+	// maxGeometryDim bounds each unaligned geometry dimension (groups,
+	// arrays per group) individually; maxGeometryVectors bounds their
+	// product, computed in uint64 so no hostile pair of dimensions can
+	// wrap past the guard.
+	maxGeometryDim     = 1 << 20
+	maxGeometryVectors = 1 << 24
 )
 
 // ErrBadFrame reports a malformed or oversized frame.
 var ErrBadFrame = errors.New("transport: malformed frame")
+
+// errStreamWrite marks a frame write that failed after bytes may have hit
+// the connection — as opposed to an encoding rejection, which never touches
+// it. Client.Send uses the distinction to decide whether the byte stream is
+// still frame-aligned.
+var errStreamWrite = errors.New("transport: stream write failed")
 
 // Message is a value that can travel over the digest channel.
 type Message interface{ isMessage() }
@@ -90,10 +103,10 @@ func Write(w io.Writer, m Message) error {
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[9:], crc32.Checksum(payload, castagnoli))
 	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
+		return fmt.Errorf("%w: header: %w", errStreamWrite, err)
 	}
 	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("transport: write payload: %w", err)
+		return fmt.Errorf("%w: payload: %w", errStreamWrite, err)
 	}
 	return nil
 }
@@ -244,12 +257,25 @@ func decodeUnaligned(buf []byte) (Message, error) {
 	}
 	routerID := int(int32(binary.LittleEndian.Uint32(buf[0:])))
 	epoch := int(int32(binary.LittleEndian.Uint32(buf[4:])))
-	groups := int(binary.LittleEndian.Uint32(buf[8:]))
-	arrays := int(binary.LittleEndian.Uint32(buf[12:]))
-	if groups < 0 || arrays < 0 || groups*arrays > 1<<24 {
-		return nil, fmt.Errorf("%w: implausible geometry %dx%d", ErrBadFrame, groups, arrays)
+	// Geometry hardening: each dimension is bounded on its own and the
+	// product is taken in uint64. The decoded counts come off the wire as
+	// uint32, so an int conversion is never negative on 64-bit and a product
+	// like 0xFFFFFFFF x 0xFFFFFFFF wraps int64 past any guard — a 16-byte
+	// hostile frame could otherwise drive the rows allocation below into
+	// gigabytes before a single payload byte is checked.
+	g64 := uint64(binary.LittleEndian.Uint32(buf[8:]))
+	a64 := uint64(binary.LittleEndian.Uint32(buf[12:]))
+	if g64 > maxGeometryDim || a64 > maxGeometryDim || g64*a64 > maxGeometryVectors {
+		return nil, fmt.Errorf("%w: implausible geometry %dx%d", ErrBadFrame, g64, a64)
 	}
 	buf = buf[16:]
+	// Every vector costs at least its 4-byte length prefix, so a payload
+	// shorter than that is lying about its geometry; reject it before
+	// allocating any per-group storage.
+	if uint64(len(buf)) < g64*a64*4 {
+		return nil, fmt.Errorf("%w: geometry %dx%d exceeds %d payload bytes", ErrBadFrame, g64, a64, len(buf))
+	}
+	groups, arrays := int(g64), int(a64)
 	dg := &unaligned.Digest{RouterID: routerID, Rows: make([][]*bitvec.Vector, groups)}
 	for g := 0; g < groups; g++ {
 		dg.Rows[g] = make([]*bitvec.Vector, arrays)

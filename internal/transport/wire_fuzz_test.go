@@ -179,6 +179,50 @@ func TestBadGeometryRejected(t *testing.T) {
 	}
 }
 
+// hostileGeometryFrame builds the 16-byte-payload unaligned frame that used
+// to panic the decoder: groups and arrays both 0xFFFFFFFF, whose product
+// wraps int64 to a negative number and slipped past the old single-product
+// guard into a make() of 2^32-1 group slots.
+func hostileGeometryFrame(groups, arrays uint32) []byte {
+	payload := make([]byte, 16)
+	binary.LittleEndian.PutUint32(payload[0:], 1) // router
+	binary.LittleEndian.PutUint32(payload[4:], 1) // epoch
+	binary.LittleEndian.PutUint32(payload[8:], groups)
+	binary.LittleEndian.PutUint32(payload[12:], arrays)
+	frame := make([]byte, headerLen, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], magic)
+	frame[4] = typeUnaligned
+	binary.LittleEndian.PutUint32(frame[5:], uint32(len(payload)))
+	frame = append(frame, payload...)
+	rewriteChecksum(frame)
+	return frame
+}
+
+// TestGeometryOverflowRejected is the decoder-hardening regression test: a
+// hostile frame whose dimensions multiply past int64 must be rejected as
+// ErrBadFrame, not drive a gigabyte allocation or a makeslice panic.
+func TestGeometryOverflowRejected(t *testing.T) {
+	for _, dims := range [][2]uint32{
+		{0xFFFFFFFF, 0xFFFFFFFF}, // product wraps int64 negative
+		{0x10000, 0x10000},       // product 2^32: positive but wraps uint32 to 0
+		{1 << 21, 1},             // single dimension over the per-dim bound
+		{1, 1 << 21},
+		{1 << 13, 1 << 13}, // dims in bound, product over the vector bound
+	} {
+		frame := hostileGeometryFrame(dims[0], dims[1])
+		m, err := Read(bytes.NewReader(frame))
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("geometry %dx%d: got (%v, %v), want ErrBadFrame", dims[0], dims[1], m, err)
+		}
+	}
+	// A plausible geometry with too few payload bytes for even the vector
+	// length prefixes is rejected before any per-group allocation.
+	frame := hostileGeometryFrame(1<<10, 1<<10)
+	if _, err := Read(bytes.NewReader(frame)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("undersized payload: %v", err)
+	}
+}
+
 // rewriteChecksum fixes up a frame's CRC after deliberate payload edits so
 // the test exercises the decoder, not the checksum.
 func rewriteChecksum(frame []byte) {
@@ -199,6 +243,8 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{'D', 'C', 'S', '1', 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	// The geometry-overflow frame that once drove a makeslice panic.
+	f.Add(hostileGeometryFrame(0xFFFFFFFF, 0xFFFFFFFF))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		for {
