@@ -47,15 +47,26 @@ bench-json:
 bench-udp-json:
 	$(GO) run ./cmd/dcsbench -exp ingest -scale $(BENCH_SCALE) -json -label udp > BENCH_udp.json
 
+# Admission-control baseline: ingest throughput and the shed/reject ledger
+# at 1x/2x/4x memory-budget pressure under both shedding policies,
+# committed as BENCH_shed.json. The run fails if the digest ledger does not
+# balance exactly, so the baseline doubles as an accounting regression check.
+bench-shed-json:
+	$(GO) run ./cmd/dcsbench -exp shed -scale $(BENCH_SCALE) -json -label shed > BENCH_shed.json
+
 # Fault-injection tier: the chaos-proxy integration tests (crash recovery
 # through a corrupting link, lossy-UDP degraded-never-wrong, quorum under
 # partition, eventual delivery and CRC integrity) plus the journal,
 # duplicate/eviction corners, and the mid-chaos /metrics scrape (exposition
-# must parse and counters stay monotone while ingest churns). All chaos
+# must parse and counters stay monotone while ingest churns). The overload
+# tier rides here too: budget-forced shedding, journal degraded mode and
+# re-arm, segment quarantine, sender-gate quarantine, and the combined
+# flood+disk-full+garbage scenario (TestChaosOverloadDegradedNeverWrong),
+# with the /healthz degradation surface checked in cmd/dcsd. All chaos
 # schedules are seeded in the tests themselves, so the run is reproducible.
 chaos:
-	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape' \
-		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/...
+	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape|Degraded|Shed|Gate|Quarantin|ShortWrite|Rollback|Budget|Healthz|Overload' \
+		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/... ./cmd/dcsd/...
 
 # Short fuzz of the crash/byte-level decoders: the transport wire reader, the
 # UDP datagram decoder, and the journal recovery scanner. Native Go fuzzing

@@ -6,7 +6,7 @@
 //
 // Experiments: fig7, fig11, fig12, fig13, table1, table2, table3, stress,
 // complexity, persistence, ablation-offsets, ablation-hopefuls,
-// ablation-sampling, ingest, all.
+// ablation-sampling, ingest, shed, all.
 // Scales: test (seconds), default (tens of seconds), paper (minutes).
 //
 // With -json the human tables are suppressed and a machine-readable
@@ -135,6 +135,11 @@ var runners = []runner{
 	{"ingest", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
 		return wrap(func() (*experiments.IngestResult, error) {
 			return experiments.RunIngest(experiments.IngestParamsFor(seed, s))
+		})
+	}},
+	{"shed", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.ShedResult, error) {
+			return experiments.RunShed(experiments.ShedParamsFor(seed, s))
 		})
 	}},
 }

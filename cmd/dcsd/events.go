@@ -14,12 +14,19 @@ import (
 // epochEvent is one line of the -events log: a machine-readable record of
 // one analyzed epoch, mirroring what report() logs for humans.
 type epochEvent struct {
-	Epoch          int             `json:"epoch"`
-	Routers        int             `json:"routers"`
-	Degraded       bool            `json:"degraded"`
-	MissingRouters []int           `json:"missing_routers,omitempty"`
-	Aligned        *alignedEvent   `json:"aligned,omitempty"`
-	Unaligned      *unalignedEvent `json:"unaligned,omitempty"`
+	Epoch          int   `json:"epoch"`
+	Routers        int   `json:"routers"`
+	Degraded       bool  `json:"degraded"`
+	MissingRouters []int `json:"missing_routers,omitempty"`
+	// Shed marks an epoch sacrificed whole to the memory budget: no
+	// analysis ran, ShedDigests died with it. RejectedDigests counts
+	// digests refused at admission while this epoch's window was open —
+	// either way the verdict (or its absence) is explicitly incomplete.
+	Shed            bool            `json:"shed,omitempty"`
+	ShedDigests     int             `json:"shed_digests,omitempty"`
+	RejectedDigests int             `json:"rejected_digests,omitempty"`
+	Aligned         *alignedEvent   `json:"aligned,omitempty"`
+	Unaligned       *unalignedEvent `json:"unaligned,omitempty"`
 	// WallMS is the wall-clock analysis latency for this window in
 	// milliseconds (ingest buffering time excluded — that lives in the
 	// dcs_center_ingest_to_analyze_seconds histogram).
@@ -69,11 +76,14 @@ func newEventLog(w io.Writer) *eventLog { return &eventLog{enc: json.NewEncoder(
 // emit writes one epoch's event.
 func (l *eventLog) emit(rep center.WindowReport, wall time.Duration) error {
 	ev := epochEvent{
-		Epoch:          rep.Epoch,
-		Routers:        rep.Routers,
-		Degraded:       rep.Degraded,
-		MissingRouters: rep.MissingRouters,
-		WallMS:         float64(wall.Microseconds()) / 1e3,
+		Epoch:           rep.Epoch,
+		Routers:         rep.Routers,
+		Degraded:        rep.Degraded,
+		MissingRouters:  rep.MissingRouters,
+		Shed:            rep.Shed,
+		ShedDigests:     rep.ShedDigests,
+		RejectedDigests: rep.RejectedDigests,
+		WallMS:          float64(wall.Microseconds()) / 1e3,
 	}
 	if a := rep.Aligned; a != nil {
 		ev.Aligned = &alignedEvent{

@@ -6,7 +6,9 @@ import (
 	"net/http/pprof"
 
 	"dcstream/internal/center"
+	"dcstream/internal/journal"
 	"dcstream/internal/metrics"
+	"dcstream/internal/transport"
 )
 
 // epochHealth is one buffered epoch's quorum state as /healthz reports it.
@@ -18,23 +20,81 @@ type epochHealth struct {
 	Held     bool  `json:"held"`
 }
 
-// health is the /healthz payload: the daemon is "ok" whenever it can answer,
-// and the per-epoch list is what an operator (or a probe with jq) reads to
-// see which windows the quorum gate is holding and why.
+// journalHealth is the write-ahead log's degradation state: the probe's view
+// of whether ingest is still crash-durable, and how much history a crash
+// right now would cost.
+type journalHealth struct {
+	Degraded bool   `json:"degraded"`
+	Cause    string `json:"cause,omitempty"`
+	// UnjournaledFrames is how many admitted digests have no durable record
+	// — the honest bound on post-crash replay loss.
+	UnjournaledFrames   int `json:"unjournaled_frames"`
+	SegmentsQuarantined int `json:"segments_quarantined"`
+}
+
+// health is the /healthz payload. Status is "ok" while every subsystem holds
+// its guarantees and "degraded" while any is shedding them (journal appends
+// suspended) — still HTTP 200, because the daemon is up and honest about what
+// it is dropping; probes that page on degradation match on the status string.
 type health struct {
-	Status string        `json:"status"`
-	Epochs []epochHealth `json:"epochs"`
+	Status string `json:"status"`
+	// BufferedBytes is the byte-accounted size of all buffered epoch
+	// windows (what -mem-budget constrains); ShedEpochs counts windows
+	// sacrificed to that budget so far.
+	BufferedBytes int64          `json:"buffered_bytes"`
+	ShedEpochs    int64          `json:"shed_epochs"`
+	Journal       *journalHealth `json:"journal,omitempty"`
+	// QuarantinedSenders lists hosts currently refused by the transport
+	// admission gates (TCP and UDP merged).
+	QuarantinedSenders []string      `json:"quarantined_senders,omitempty"`
+	Epochs             []epochHealth `json:"epochs"`
+}
+
+// httpDeps are the optional subsystems /healthz reports on; zero fields are
+// simply absent from the payload.
+type httpDeps struct {
+	jr  *journal.Journal
+	tcp *transport.Server
+	udp *transport.UDPServer
 }
 
 // newHTTPHandler builds the -http endpoint surface: /metrics (Prometheus
 // text exposition of the registry), /healthz (quorum state per buffered
-// epoch), and /debug/pprof (the standard Go profiler handlers).
-func newHTTPHandler(reg *metrics.Registry, c *center.Center) http.Handler {
+// epoch plus journal/budget/quarantine degradation), and /debug/pprof (the
+// standard Go profiler handlers).
+func newHTTPHandler(reg *metrics.Registry, c *center.Center, deps httpDeps) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		counts := c.EpochDigests()
-		h := health{Status: "ok", Epochs: []epochHealth{}}
+		cs := c.Stats().Snapshot()
+		h := health{
+			Status:        "ok",
+			BufferedBytes: c.BufferedBytes(),
+			ShedEpochs:    cs.ShedEpochs,
+			Epochs:        []epochHealth{},
+		}
+		if deps.jr != nil {
+			js := deps.jr.Stats()
+			jh := &journalHealth{
+				Degraded:            js.Degraded,
+				UnjournaledFrames:   js.UnjournaledFrames,
+				SegmentsQuarantined: js.SegmentsQuarantined,
+			}
+			if cause := deps.jr.DegradedCause(); cause != nil {
+				jh.Cause = cause.Error()
+			}
+			h.Journal = jh
+			if js.Degraded {
+				h.Status = "degraded"
+			}
+		}
+		if deps.tcp != nil {
+			h.QuarantinedSenders = append(h.QuarantinedSenders, deps.tcp.QuarantinedSenders()...)
+		}
+		if deps.udp != nil {
+			h.QuarantinedSenders = append(h.QuarantinedSenders, deps.udp.QuarantinedSenders()...)
+		}
 		for _, e := range c.Epochs() {
 			q := c.Quorum(e)
 			h.Epochs = append(h.Epochs, epochHealth{

@@ -2,12 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"dcstream/internal/bitvec"
 	"dcstream/internal/center"
+	"dcstream/internal/faultinject/fsfault"
+	"dcstream/internal/journal"
 	"dcstream/internal/metrics"
 	"dcstream/internal/transport"
 )
@@ -31,7 +35,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	c.Ingest(transport.AlignedDigest{RouterID: 2, Epoch: 5, Bitmap: testBitmap(2)})
 	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 6, Bitmap: testBitmap(3)})
 
-	ts := httptest.NewServer(newHTTPHandler(reg, c))
+	ts := httptest.NewServer(newHTTPHandler(reg, c, httpDeps{}))
 	defer ts.Close()
 
 	// /metrics must parse and agree with the Stats snapshot.
@@ -91,5 +95,50 @@ func TestHTTPEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzReportsDegradation: a degraded journal flips /healthz to
+// "degraded" with the unjournaled count, and shed epochs surface alongside
+// the buffered-bytes figure — the probe sees every overload concession.
+func TestHealthzReportsDegradation(t *testing.T) {
+	// A two-digest budget (each 256-bit digest costs 144 accounted bytes)
+	// sheds epoch 1 when epoch 2 fills.
+	c := center.New(center.Config{MemoryBudgetBytes: 300, MaxEpochs: 8})
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: testBitmap(1)})
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 2, Bitmap: testBitmap(2)})
+	c.Ingest(transport.AlignedDigest{RouterID: 2, Epoch: 2, Bitmap: testBitmap(3)})
+
+	fs := fsfault.NewFS(nil)
+	jr, err := journal.Open(t.TempDir(), journal.Options{FS: fs, RetryInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	fs.FailNext(fsfault.FaultWrite, 1, errors.New("no space left on device"))
+	if err := jr.Append(transport.AlignedDigest{RouterID: 1, Epoch: 3, Bitmap: testBitmap(4)}); err == nil {
+		t.Fatal("append through an injected ENOSPC succeeded")
+	}
+
+	ts := httptest.NewServer(newHTTPHandler(metrics.NewRegistry(), c, httpDeps{jr: jr}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status %q with a degraded journal, want degraded", h.Status)
+	}
+	if h.Journal == nil || !h.Journal.Degraded || h.Journal.UnjournaledFrames != 1 || h.Journal.Cause == "" {
+		t.Fatalf("healthz journal = %+v, want degraded with 1 unjournaled and a cause", h.Journal)
+	}
+	if h.ShedEpochs != 1 || h.BufferedBytes <= 0 {
+		t.Fatalf("healthz shed_epochs=%d buffered_bytes=%d, want 1 shed and positive buffered", h.ShedEpochs, h.BufferedBytes)
 	}
 }

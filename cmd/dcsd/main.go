@@ -31,6 +31,17 @@
 // below quorum is logged with a DEGRADED marker naming the missing routers,
 // and the unaligned component threshold is rescaled for the observed router
 // count.
+//
+// Overload resilience: -mem-budget caps the bytes buffered across epoch
+// windows, with -shed-policy picking the sacrifice ("oldest" sheds whole old
+// epochs as explicit tombstones, "reject" refuses new digests); -rate-limit
+// arms a per-sender admission gate on both listeners that quarantines
+// flooders and garbage sprayers (auto-parole after a cool-down). Journal
+// write failures (disk full, I/O errors) degrade the journal instead of
+// killing the daemon: ingest continues without crash durability, the gap is
+// counted, and the journal re-arms itself when the disk recovers. Every
+// degradation is visible in /healthz, /metrics, the -events stream, and the
+// log.
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -52,7 +64,15 @@ import (
 )
 
 func report(rep center.WindowReport) {
-	if rep.Degraded {
+	if rep.Shed {
+		log.Printf("epoch %d SHED: %d digests from %d routers dropped whole under the memory budget; no analysis ran",
+			rep.Epoch, rep.ShedDigests, rep.Routers)
+		return
+	}
+	if rep.RejectedDigests > 0 {
+		log.Printf("epoch %d DEGRADED: %d digests refused at admission under the memory budget", rep.Epoch, rep.RejectedDigests)
+	}
+	if rep.Degraded && len(rep.MissingRouters) > 0 {
 		log.Printf("epoch %d DEGRADED: analyzed below quorum, missing routers %v", rep.Epoch, rep.MissingRouters)
 	}
 	if rep.Aligned != nil {
@@ -106,6 +126,16 @@ func analyzeEpoch(c *center.Center, jr *journal.Journal, ev *eventLog, epoch int
 	finish(jr, ev, rep, time.Since(start))
 }
 
+// drainShed forwards the tombstone reports of epochs shed under the memory
+// budget: logged, emitted as -events records, and marked analyzed in the
+// journal so their frames are purged rather than replayed into a window that
+// no longer exists.
+func drainShed(c *center.Center, jr *journal.Journal, ev *eventLog) {
+	for _, rep := range c.TakeShedReports() {
+		finish(jr, ev, rep, 0)
+	}
+}
+
 // drainComplete analyzes every epoch already superseded by a newer one (and
 // not held open by the quorum gate).
 func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog) {
@@ -124,10 +154,11 @@ func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog) {
 
 func logStats(srv *transport.Server, usrv *transport.UDPServer, c *center.Center) {
 	t, s := srv.Stats().Snapshot(), c.Stats().Snapshot()
-	log.Printf("stats: frames in=%d bad=%d; conns accepted=%d reaped=%d; digests ingested=%d late=%d dup=%d dropped=%d unknown=%d; epochs analyzed=%d degraded=%d evicted=%d",
+	log.Printf("stats: frames in=%d bad=%d; conns accepted=%d reaped=%d; quarantined senders=%d drops=%d; digests ingested=%d late=%d dup=%d dropped=%d shed=%d rejected=%d unknown=%d; epochs analyzed=%d degraded=%d evicted=%d shed=%d",
 		t.FramesIn, t.BadFrames, t.ConnsAccepted, t.ConnsReaped,
-		s.DigestsIngested, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, s.UnknownMessages,
-		s.EpochsAnalyzed, s.DegradedEpochs, s.EpochsEvicted)
+		t.QuarantinedSenders, t.QuarantineDrops,
+		s.DigestsIngested, s.LateDigests, s.DuplicateDigests, s.DroppedDigests, s.ShedDigests, s.RejectedDigests, s.UnknownMessages,
+		s.EpochsAnalyzed, s.DegradedEpochs, s.EpochsEvicted, s.ShedEpochs)
 	if usrv != nil {
 		u := usrv.Stats().Snapshot()
 		log.Printf("stats: udp datagrams in=%d rejected=%d lost=%d late=%d; frames in=%d bad=%d",
@@ -156,8 +187,25 @@ func main() {
 		maxWait     = flag.Int("max-wait", 2, "epochs (and idle ticks) a below-quorum window may be held open")
 		httpAddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
 		eventsPath  = flag.String("events", "", `append one JSON event per analyzed epoch to this file ("-" = stdout)`)
+		memBudget   = flag.Int64("mem-budget", 0, "byte budget across buffered epoch windows (0 = unlimited)")
+		shedPolicy  = flag.String("shed-policy", "oldest", `sacrifice when -mem-budget is exhausted: "oldest" sheds whole old epochs, "reject" refuses new digests`)
+		rateLimit   = flag.Float64("rate-limit", 0, "per-sender admission rate, frames (TCP) or datagrams (UDP) per second; offenders are quarantined (0 = off)")
 	)
 	flag.Parse()
+
+	var shedding center.ShedPolicy
+	switch *shedPolicy {
+	case "oldest":
+		shedding = center.ShedOldest
+	case "reject":
+		shedding = center.RejectNew
+	default:
+		log.Fatalf(`-shed-policy %q: want "oldest" or "reject"`, *shedPolicy)
+	}
+	var gate transport.GateConfig
+	if *rateLimit > 0 {
+		gate = transport.GateConfig{Rate: *rateLimit, MaxStrikes: 8, Cooldown: 30 * time.Second}
+	}
 
 	c := center.New(center.Config{
 		SubsetSize:         *subset,
@@ -168,6 +216,8 @@ func main() {
 		MaxEpochs:          *maxEpochs,
 		MinRouters:         *minRouters,
 		MaxWait:            *maxWait,
+		MemoryBudgetBytes:  *memBudget,
+		Shedding:           shedding,
 	})
 
 	reg := metrics.NewRegistry()
@@ -211,13 +261,25 @@ func main() {
 	}
 
 	// One ingest handler shared by both listeners: journal first, then the
-	// in-memory window, then a per-digest log line.
+	// in-memory window, then a per-digest log line. Journal degradation is
+	// logged on the transition, not per digest — a full disk under a digest
+	// flood must not also flood the log.
+	var jrDegraded atomic.Bool
 	handler := func(m transport.Message, from net.Addr) {
 		if jr != nil {
 			if err := jr.Append(m); err != nil {
 				// The digest still reaches the in-memory window; only its
 				// crash durability is lost.
-				log.Printf("journal append: %v", err)
+				if errors.Is(err, journal.ErrDegraded) {
+					if jrDegraded.CompareAndSwap(false, true) {
+						log.Printf("journal DEGRADED: %v; ingest continues without crash durability", err)
+					}
+				} else {
+					log.Printf("journal append: %v", err)
+				}
+			} else if jrDegraded.CompareAndSwap(true, false) {
+				log.Printf("journal re-armed: appends durable again (%d digests unjournaled while degraded)",
+					jr.Stats().UnjournaledFrames)
 			}
 		}
 		c.Ingest(m)
@@ -229,7 +291,7 @@ func main() {
 		}
 	}
 
-	srv, err := transport.ServeConfig(*listen, handler, transport.ServerConfig{ReadTimeout: *idleConn})
+	srv, err := transport.ServeConfig(*listen, handler, transport.ServerConfig{ReadTimeout: *idleConn, Gate: gate})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -240,7 +302,7 @@ func main() {
 
 	var usrv *transport.UDPServer
 	if *udpListen != "" {
-		usrv, err = transport.ServeUDP(*udpListen, handler)
+		usrv, err = transport.ServeUDPConfig(*udpListen, handler, transport.UDPServerConfig{Gate: gate})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -259,7 +321,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("http: %v", err)
 		}
-		hsrv := &http.Server{Handler: newHTTPHandler(reg, c)}
+		hsrv := &http.Server{Handler: newHTTPHandler(reg, c, httpDeps{jr: jr, tcp: srv, udp: usrv})}
 		go func() {
 			if err := hsrv.Serve(hln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("http: %v", err)
@@ -270,6 +332,7 @@ func main() {
 	}
 
 	drainAll := func() {
+		drainShed(c, jr, ev)
 		drainComplete(c, jr, ev)
 		for _, e := range c.Epochs() {
 			analyzeEpoch(c, jr, ev, e)
@@ -292,6 +355,7 @@ func main() {
 			// veto a quiescence close for up to -max-wait ticks — a fleet
 			// that stopped advancing epochs would otherwise never satisfy
 			// the gate's own epoch-based bound.
+			drainShed(c, jr, ev)
 			drainComplete(c, jr, ev)
 			counts := c.EpochDigests()
 			for e, n := range counts {

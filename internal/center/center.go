@@ -75,6 +75,17 @@ type Config struct {
 	// Duplicates picks the resolution for a router resending within one
 	// epoch. The zero value is DupKeepLast.
 	Duplicates DuplicatePolicy
+	// MemoryBudgetBytes, when positive, bounds the byte-accounted size of
+	// all buffered epoch windows (retained bitmap payloads plus bookkeeping
+	// estimates). A digest that would exceed the budget triggers the
+	// Shedding policy instead of growing the heap without limit. Zero
+	// disables the budget: only MaxEpochs bounds the ring.
+	MemoryBudgetBytes int64
+	// Shedding picks what gives way when MemoryBudgetBytes is exhausted:
+	// ShedOldest (the zero value) drops whole old epochs — tombstoned and
+	// reported Degraded+Shed, never silently — while RejectNew refuses the
+	// incoming digest and preserves the buffered epochs.
+	Shedding ShedPolicy
 	// MinRouters, when positive, is the quorum: AnalyzeLatestComplete and
 	// ring eviction hold an epoch open while fewer than MinRouters distinct
 	// routers have reported into it and a known-live router is still
@@ -110,6 +121,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEpochs == 0 {
 		c.MaxEpochs = 4
+	}
+	if c.MaxEpochs < 1 {
+		// A non-positive bound would make the eviction loop index an empty
+		// ring; clamp like SetMaxEpochs does.
+		c.MaxEpochs = 1
 	}
 	if c.MaxWait == 0 {
 		c.MaxWait = 2
@@ -150,14 +166,27 @@ type WindowReport struct {
 	// Routers is how many distinct routers reported into the window (the
 	// observed m′, either digest kind counting).
 	Routers int
-	// Degraded reports that the window closed below the MinRouters quorum.
-	// MissingRouters names the known-live routers that never reported into
-	// the window, sorted ascending. Both stay zero when quorum gating is
-	// off (MinRouters == 0).
+	// Degraded reports that the window closed without the full picture:
+	// below the MinRouters quorum, shed for memory pressure, or analyzed
+	// after rejecting digests under a RejectNew budget. MissingRouters
+	// names the known-live routers that never reported into the window,
+	// sorted ascending (quorum gating only).
 	Degraded       bool
 	MissingRouters []int
-	Aligned        *AlignedOutcome
-	Unaligned      *UnalignedOutcome
+	// Shed reports the window was dropped whole for memory pressure and
+	// never analyzed: ShedDigests is how many buffered digests died with
+	// it, and Aligned/Unaligned stay nil. A shed epoch is tombstoned — late
+	// digests cannot reopen it — and this report is its only trace, so the
+	// ledger stays explicit: every ingested digest is analyzed, dropped by
+	// eviction, or shed, never silently lost.
+	Shed        bool
+	ShedDigests int
+	// RejectedDigests counts digests refused from this window by a
+	// RejectNew memory budget while it was buffering (the window analyzed,
+	// but incomplete).
+	RejectedDigests int
+	Aligned         *AlignedOutcome
+	Unaligned       *UnalignedOutcome
 }
 
 // window is one epoch's accumulating state.
@@ -171,6 +200,13 @@ type window struct {
 	// observes the ingest→analyze latency against it. Wall time only feeds
 	// the histogram, never an analysis result, so determinism is untouched.
 	opened time.Time
+	// bytes is the window's byte-accounted retained size (retainedBytes of
+	// every stored digest); the center's bufferedBytes is the sum over all
+	// windows.
+	bytes int64
+	// rejected counts digests a RejectNew memory budget refused from this
+	// window; the window's eventual report carries it and marks Degraded.
+	rejected int
 }
 
 func newWindow() *window {
@@ -223,6 +259,12 @@ type Center struct {
 	// router is alive even when its data is unusable). Quorum liveness is
 	// derived from it.
 	lastSeen map[int]int // guarded by mu
+	// bufferedBytes is the byte-accounted size of every buffered window —
+	// what Config.MemoryBudgetBytes constrains. guarded by mu
+	bufferedBytes int64
+	// shedReports holds the tombstone report of each epoch shed for memory
+	// pressure, until Analyze or TakeShedReports hands it out. guarded by mu
+	shedReports map[int]WindowReport
 }
 
 // New builds a center.
@@ -264,6 +306,12 @@ func (c *Center) RegisterMetrics(r *metrics.Registry) {
 			}
 			return float64(held)
 		})
+	r.GaugeFunc("dcs_center_buffered_bytes",
+		"byte-accounted size of all buffered epoch windows (what -mem-budget constrains)", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.bufferedBytes)
+		})
 	r.GaugeFunc("dcs_center_routers",
 		"distinct routers that have ever reported a digest", func() float64 {
 			c.mu.Lock()
@@ -302,6 +350,12 @@ func (c *Center) Ingest(m transport.Message) {
 	// counts in ReplacedDigests, not DigestsIngested — otherwise eviction's
 	// DroppedDigests (which drains the window's actual digest count) could
 	// never balance the ingest ledger.
+	//
+	// Admission runs before storage: a digest the memory budget refuses is
+	// counted RejectedDigests (its ledger) and the window marked, never
+	// half-stored. Replacements are admitted by their size *delta* — a
+	// same-width resend costs nothing.
+	sz := retainedBytes(m)
 	switch d := m.(type) {
 	case transport.AlignedDigest:
 		if _, dup := w.aligned[d.RouterID]; dup {
@@ -309,8 +363,19 @@ func (c *Center) Ingest(m transport.Message) {
 			if c.cfg.Duplicates == DupKeepFirst {
 				return
 			}
+			delta := sz - vecBytes(w.aligned[d.RouterID]) - entryOverheadBytes
+			if !c.admitLocked(epoch, delta) {
+				c.rejectLocked(w)
+				return
+			}
 			w.aligned[d.RouterID] = d.Bitmap
+			w.bytes += delta
+			c.bufferedBytes += delta
 			c.cfg.Stats.ReplacedDigests.Add(1)
+			return
+		}
+		if !c.admitLocked(epoch, sz) {
+			c.rejectLocked(w)
 			return
 		}
 		w.aligned[d.RouterID] = d.Bitmap
@@ -320,14 +385,35 @@ func (c *Center) Ingest(m transport.Message) {
 			if c.cfg.Duplicates == DupKeepFirst {
 				return
 			}
+			delta := sz - unalignedBytes(w.unaligned[i])
+			if !c.admitLocked(epoch, delta) {
+				c.rejectLocked(w)
+				return
+			}
 			w.unaligned[i] = d.Digest
+			w.bytes += delta
+			c.bufferedBytes += delta
 			c.cfg.Stats.ReplacedDigests.Add(1)
+			return
+		}
+		if !c.admitLocked(epoch, sz) {
+			c.rejectLocked(w)
 			return
 		}
 		w.unalignedIdx[d.Digest.RouterID] = len(w.unaligned)
 		w.unaligned = append(w.unaligned, d.Digest)
 	}
+	w.bytes += sz
+	c.bufferedBytes += sz
 	c.cfg.Stats.DigestsIngested.Add(1)
+}
+
+// rejectLocked records a budget rejection against the window the digest was
+// headed for: the refusal is the digest's whole ledger, and the window will
+// analyze Degraded with the count on its report. Caller holds c.mu.
+func (c *Center) rejectLocked(w *window) {
+	w.rejected++
+	c.cfg.Stats.RejectedDigests.Add(1)
 }
 
 // windowFor returns the window for epoch, opening (and possibly evicting)
@@ -352,6 +438,13 @@ func (c *Center) windowFor(epoch int) *window {
 		return nil
 	}
 	for len(c.windows) >= c.cfg.MaxEpochs {
+		if len(c.windows) == 0 {
+			// MaxEpochs can shrink at runtime (SetMaxEpochs clamps it to
+			// >= 1, but belt and braces): with nothing buffered there is
+			// nothing to evict, and indexing an empty ring below would
+			// panic — or spin, if the bound ever went non-positive.
+			break
+		}
 		// Prefer evicting the oldest epoch the quorum gate is not holding
 		// open; only when every buffered epoch is held does the overall
 		// oldest go (MaxWait bounds how long that can happen).
@@ -374,6 +467,7 @@ func (c *Center) windowFor(epoch int) *window {
 		}
 		c.cfg.Stats.DroppedDigests.Add(int64(c.windows[victim].digests()))
 		c.cfg.Stats.EpochsEvicted.Add(1)
+		c.bufferedBytes -= c.windows[victim].bytes
 		delete(c.windows, victim)
 		if victim == oldest {
 			// Only raising past the oldest keeps held mid-ring windows
@@ -542,11 +636,21 @@ func (c *Center) EpochDigests() map[int]int {
 // nothing for the epoch.
 func (c *Center) Analyze(epoch int) (WindowReport, error) {
 	c.mu.Lock()
+	if rep, shed := c.shedReports[epoch]; shed {
+		// The epoch was shed for memory pressure before anyone analyzed it:
+		// hand out its tombstone report (Degraded, Shed, digest count) —
+		// honest about the loss, never ErrNoWindow as if it had been
+		// analyzed and forgotten. Each report is handed out once.
+		delete(c.shedReports, epoch)
+		c.mu.Unlock()
+		return rep, nil
+	}
 	w, ok := c.windows[epoch]
 	var meta windowMeta
 	if ok {
 		meta = c.metaLocked(epoch, w)
 		delete(c.windows, epoch)
+		c.bufferedBytes -= w.bytes
 		c.raiseFloor(epoch)
 	}
 	c.mu.Unlock()
@@ -580,6 +684,7 @@ func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
 		w = c.windows[best]
 		meta = c.metaLocked(best, w)
 		delete(c.windows, best)
+		c.bufferedBytes -= w.bytes
 		c.raiseFloor(best)
 	}
 	c.mu.Unlock()
@@ -593,8 +698,12 @@ func (c *Center) analyzeWindow(epoch int, w *window, meta windowMeta) (WindowRep
 	rep := WindowReport{
 		Epoch:          epoch,
 		Routers:        meta.observed,
-		Degraded:       meta.degraded,
+		Degraded:       meta.degraded || w.rejected > 0,
 		MissingRouters: meta.missing,
+		// A window that refused digests under a RejectNew budget analyzed
+		// incomplete: the report says so rather than passing the verdict
+		// off as the full picture.
+		RejectedDigests: w.rejected,
 	}
 	if len(w.aligned) >= 2 {
 		out, err := c.analyzeAligned(w.aligned)

@@ -1,0 +1,233 @@
+package center
+
+import (
+	"errors"
+	"testing"
+
+	"dcstream/internal/transport"
+)
+
+// digestCost is the byte-accounted price of one smallBitmap aligned digest,
+// computed the same way admission computes it so budgets in these tests can
+// be expressed in digests.
+func digestCost() int64 {
+	return retainedBytes(transport.AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: smallBitmap(1)})
+}
+
+// TestShedOldestUnderBudget: with a budget of ~one epoch's digests and the
+// default ShedOldest policy, filling newer epochs sheds the oldest whole —
+// tombstoned, counted, and reported — while the newest epoch stays complete
+// and the byte ledger balances.
+func TestShedOldestUnderBudget(t *testing.T) {
+	const perEpoch = 4
+	budget := digestCost() * (perEpoch + 1) // room for one epoch, not two
+	c := New(Config{MemoryBudgetBytes: budget, Shedding: ShedOldest, MaxEpochs: 8})
+	for epoch := 1; epoch <= 3; epoch++ {
+		for r := 0; r < perEpoch; r++ {
+			c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: epoch, Bitmap: smallBitmap(uint64(epoch*10 + r))})
+		}
+	}
+	s := c.Stats().Snapshot()
+	if s.ShedEpochs != 2 || s.ShedDigests != 2*perEpoch {
+		t.Fatalf("shed epochs=%d digests=%d, want 2 epochs / %d digests", s.ShedEpochs, s.ShedDigests, 2*perEpoch)
+	}
+	if s.RejectedDigests != 0 {
+		t.Fatalf("ShedOldest rejected %d digests with sheddable epochs available", s.RejectedDigests)
+	}
+	if got := c.BufferedBytes(); got > budget {
+		t.Fatalf("buffered %d bytes over the %d budget", got, budget)
+	}
+	// Ledger: everything ingested is buffered or shed; nothing vanished.
+	if s.DigestsIngested != 3*perEpoch {
+		t.Fatalf("ingested %d, want %d (admission happens before the ingested ledger)", s.DigestsIngested, 3*perEpoch)
+	}
+	a, u := c.Pending()
+	if int64(a+u)+s.ShedDigests != s.DigestsIngested {
+		t.Fatalf("ledger broken: buffered %d + shed %d != ingested %d", a+u, s.ShedDigests, s.DigestsIngested)
+	}
+
+	// The tombstone reports name the shed epochs, oldest first, with honest
+	// digest counts and the Degraded+Shed marking.
+	reps := c.TakeShedReports()
+	if len(reps) != 2 || reps[0].Epoch != 1 || reps[1].Epoch != 2 {
+		t.Fatalf("shed reports %+v, want epochs 1 and 2", reps)
+	}
+	for _, rep := range reps {
+		if !rep.Shed || !rep.Degraded || rep.ShedDigests != perEpoch || rep.Routers != perEpoch {
+			t.Fatalf("shed report %+v lacks Shed/Degraded/counts", rep)
+		}
+		if rep.Aligned != nil || rep.Unaligned != nil {
+			t.Fatalf("shed report %+v carries an analysis for digests that were dropped", rep)
+		}
+	}
+	if again := c.TakeShedReports(); len(again) != 0 {
+		t.Fatalf("TakeShedReports not drained: %+v", again)
+	}
+
+	// Shed epochs are tombstoned: a straggler for epoch 1 is late, never a
+	// silent reopen.
+	c.Ingest(transport.AlignedDigest{RouterID: 9, Epoch: 1, Bitmap: smallBitmap(99)})
+	if got := c.Stats().Snapshot().LateDigests; got != 1 {
+		t.Fatalf("straggler into a shed epoch: late=%d, want 1", got)
+	}
+	// The surviving epoch analyzes complete and un-degraded.
+	rep, err := c.Analyze(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed || rep.Degraded || rep.Routers != perEpoch {
+		t.Fatalf("survivor epoch report %+v, want complete and clean", rep)
+	}
+}
+
+// TestAnalyzeShedEpochReturnsTombstone: Analyze on a shed epoch hands out
+// the tombstone report (once) instead of ErrNoWindow — the caller learns the
+// epoch was sacrificed, not that it never existed.
+func TestAnalyzeShedEpochReturnsTombstone(t *testing.T) {
+	budget := digestCost() * 2
+	c := New(Config{MemoryBudgetBytes: budget, MaxEpochs: 8})
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: smallBitmap(1)})
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 2, Bitmap: smallBitmap(2)})
+	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 2, Bitmap: smallBitmap(3)})
+	rep, err := c.Analyze(1)
+	if err != nil {
+		t.Fatalf("Analyze(shed epoch) = %v, want its tombstone report", err)
+	}
+	if !rep.Shed || !rep.Degraded || rep.ShedDigests != 1 {
+		t.Fatalf("tombstone report %+v", rep)
+	}
+	if _, err := c.Analyze(1); !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("second Analyze of a handed-out tombstone = %v, want ErrNoWindow", err)
+	}
+	if reps := c.TakeShedReports(); len(reps) != 0 {
+		t.Fatalf("Analyze left the tombstone behind: %+v", reps)
+	}
+}
+
+// TestRejectNewUnderBudget: the RejectNew policy refuses incoming digests at
+// the budget line, preserves every buffered epoch, and marks the affected
+// window's report Degraded with the rejection count.
+func TestRejectNewUnderBudget(t *testing.T) {
+	budget := digestCost() * 3
+	c := New(Config{MemoryBudgetBytes: budget, Shedding: RejectNew, MaxEpochs: 8})
+	for r := 0; r < 3; r++ {
+		c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: smallBitmap(uint64(r))})
+	}
+	// Over budget: both a new digest for epoch 1 and one opening epoch 2
+	// are refused; nothing buffered is touched.
+	c.Ingest(transport.AlignedDigest{RouterID: 7, Epoch: 1, Bitmap: smallBitmap(7)})
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 2, Bitmap: smallBitmap(8)})
+	s := c.Stats().Snapshot()
+	if s.RejectedDigests != 2 || s.ShedEpochs != 0 || s.DigestsIngested != 3 {
+		t.Fatalf("rejected=%d shed=%d ingested=%d, want 2/0/3", s.RejectedDigests, s.ShedEpochs, s.DigestsIngested)
+	}
+	// A same-size DupKeepLast resend costs no new bytes and is still
+	// admitted at the budget line.
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: smallBitmap(100)})
+	if s := c.Stats().Snapshot(); s.ReplacedDigests != 1 {
+		t.Fatalf("zero-delta replacement refused under RejectNew: %+v", s)
+	}
+
+	rep, err := c.Analyze(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.RejectedDigests != 1 || rep.Routers != 3 {
+		t.Fatalf("report %+v, want Degraded with RejectedDigests=1 over 3 routers", rep)
+	}
+	// Epoch 2 remembers it refused a digest: even after the budget frees up
+	// and it fills normally, its report stays Degraded with the rejection
+	// on the books — the analysis ran on an incomplete window.
+	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 2, Bitmap: smallBitmap(9)})
+	rep2, err := c.Analyze(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Degraded || rep2.RejectedDigests != 1 || rep2.Routers != 1 {
+		t.Fatalf("epoch 2 report %+v, want Degraded with its 1 rejection remembered", rep2)
+	}
+}
+
+// TestEvictionLoopBoundaries is the satellite regression table: the ring
+// bound at its edge values (0 and negative clamp to a working ring of 1,
+// exactly 1 works) and shrinking MaxEpochs at runtime while the quorum gate
+// holds windows open — the eviction loop must converge in every case, never
+// spin or index an empty ring.
+func TestEvictionLoopBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"configured zero defaults", func(t *testing.T) {
+			c := New(Config{})
+			for e := 1; e <= 10; e++ {
+				c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: e, Bitmap: smallBitmap(uint64(e))})
+			}
+			if got := len(c.Epochs()); got != 4 {
+				t.Fatalf("default ring holds %d epochs, want 4", got)
+			}
+		}},
+		{"set zero clamps to one", func(t *testing.T) {
+			c := New(Config{})
+			c.SetMaxEpochs(0)
+			for e := 1; e <= 5; e++ {
+				c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: e, Bitmap: smallBitmap(uint64(e))})
+			}
+			if got := c.Epochs(); len(got) != 1 || got[0] != 5 {
+				t.Fatalf("ring after clamp-to-1: %v, want just epoch 5", got)
+			}
+		}},
+		{"set negative clamps to one", func(t *testing.T) {
+			c := New(Config{})
+			c.SetMaxEpochs(-3)
+			for e := 1; e <= 5; e++ {
+				c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: e, Bitmap: smallBitmap(uint64(e))})
+			}
+			if got := c.Epochs(); len(got) != 1 || got[0] != 5 {
+				t.Fatalf("ring after clamp: %v, want just epoch 5", got)
+			}
+		}},
+		{"configured negative clamps to one", func(t *testing.T) {
+			c := New(Config{MaxEpochs: -1})
+			for e := 1; e <= 5; e++ {
+				c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: e, Bitmap: smallBitmap(uint64(e))})
+			}
+			if got := c.Epochs(); len(got) != 1 || got[0] != 5 {
+				t.Fatalf("ring with negative config: %v, want just epoch 5", got)
+			}
+		}},
+		{"exactly one", func(t *testing.T) {
+			c := New(Config{MaxEpochs: 1})
+			for e := 1; e <= 3; e++ {
+				c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: e, Bitmap: smallBitmap(uint64(e))})
+			}
+			s := c.Stats().Snapshot()
+			if got := c.Epochs(); len(got) != 1 || got[0] != 3 || s.EpochsEvicted != 2 {
+				t.Fatalf("ring of one: epochs %v, evicted %d", got, s.EpochsEvicted)
+			}
+		}},
+		{"shrink while quorum-held", func(t *testing.T) {
+			// Quorum (MinRouters 3, one reporter each) holds every window;
+			// shrinking the ring to 1 and ingesting a new epoch must evict
+			// the held windows down to the bound and terminate.
+			c := New(Config{MaxEpochs: 4, MinRouters: 3, MaxWait: 10})
+			for r := 0; r < 3; r++ { // register a fleet so windows are held
+				c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: smallBitmap(uint64(r))})
+			}
+			for e := 2; e <= 4; e++ {
+				c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: e, Bitmap: smallBitmap(uint64(e))})
+			}
+			if got := len(c.Epochs()); got != 4 {
+				t.Fatalf("precondition: %d buffered epochs, want 4", got)
+			}
+			c.SetMaxEpochs(1)
+			c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 5, Bitmap: smallBitmap(5)})
+			if got := c.Epochs(); len(got) != 1 || got[0] != 5 {
+				t.Fatalf("ring after shrink-while-held: %v, want just epoch 5", got)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

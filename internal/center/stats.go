@@ -30,6 +30,15 @@ type Stats struct {
 	// DroppedDigests counts digests lost when their epoch was evicted
 	// unanalyzed to make room in the ring.
 	DroppedDigests metrics.Counter
+	// ShedDigests counts digests lost when their epoch was shed whole for
+	// memory pressure (MemoryBudgetBytes + ShedOldest); ShedEpochs counts
+	// the windows. Every shed epoch also leaves a tombstone WindowReport —
+	// the counters and the reports tell the same story.
+	ShedDigests metrics.Counter
+	ShedEpochs  metrics.Counter
+	// RejectedDigests counts digests refused at admission by a RejectNew
+	// memory budget — their entire ledger; they were never stored.
+	RejectedDigests metrics.Counter
 	// UnknownMessages counts wire messages of a kind this center does not
 	// understand (forward compatibility: ignored, not fatal).
 	UnknownMessages metrics.Counter
@@ -60,6 +69,12 @@ func (s *Stats) Register(r *metrics.Registry) {
 		"DupKeepLast duplicates that overwrote an earlier digest in place", &s.ReplacedDigests)
 	r.RegisterCounter("dcs_center_digests_dropped_total",
 		"digests lost when their epoch was evicted unanalyzed", &s.DroppedDigests)
+	r.RegisterCounter("dcs_center_shed_digests_total",
+		"digests lost with epochs shed whole for memory pressure", &s.ShedDigests)
+	r.RegisterCounter("dcs_center_shed_epochs_total",
+		"epoch windows shed whole for memory pressure", &s.ShedEpochs)
+	r.RegisterCounter("dcs_center_shed_rejected_total",
+		"digests refused at admission by a RejectNew memory budget", &s.RejectedDigests)
 	r.RegisterCounter("dcs_center_messages_unknown_total",
 		"wire messages of an unknown kind (ignored)", &s.UnknownMessages)
 	r.RegisterCounter("dcs_center_epochs_analyzed_total",
@@ -76,6 +91,7 @@ func (s *Stats) Register(r *metrics.Registry) {
 type Snapshot struct {
 	DigestsIngested, LateDigests, DuplicateDigests, ReplacedDigests int64
 	DroppedDigests, UnknownMessages                                 int64
+	ShedDigests, ShedEpochs, RejectedDigests                        int64
 	EpochsAnalyzed, EpochsEvicted, DegradedEpochs                   int64
 }
 
@@ -89,6 +105,9 @@ func (s *Stats) Snapshot() Snapshot {
 		ReplacedDigests:  s.ReplacedDigests.Load(),
 		DroppedDigests:   s.DroppedDigests.Load(),
 		UnknownMessages:  s.UnknownMessages.Load(),
+		ShedDigests:      s.ShedDigests.Load(),
+		ShedEpochs:       s.ShedEpochs.Load(),
+		RejectedDigests:  s.RejectedDigests.Load(),
 		EpochsAnalyzed:   s.EpochsAnalyzed.Load(),
 		EpochsEvicted:    s.EpochsEvicted.Load(),
 		DegradedEpochs:   s.DegradedEpochs.Load(),

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/center"
+	"dcstream/internal/stats"
+	"dcstream/internal/transport"
+)
+
+// ShedParams sizes the admission-control benchmark: a fleet of routers
+// streams one aligned digest per epoch into the center, oldest epoch first,
+// while the center's memory budget is set to 1x, 2x, and 4x below what the
+// full stream retains. The 1x row is the control (the budget exactly fits,
+// nothing gives way); the 2x and 4x rows measure what honest shedding costs
+// in ingest throughput and what each policy sacrifices to stay inside the
+// envelope.
+type ShedParams struct {
+	Seed    uint64
+	Routers int // digests per epoch
+	Epochs  int // epochs streamed, oldest first
+	Bits    int // aligned bitmap width per digest
+}
+
+// ShedParamsFor returns the standard sizing for a scale.
+func ShedParamsFor(seed uint64, s Scale) ShedParams {
+	p := ShedParams{Seed: seed, Bits: 512}
+	switch s {
+	case ScaleTest:
+		p.Routers, p.Epochs = 32, 250
+	case ScalePaper:
+		p.Routers, p.Epochs = 128, 4000
+	default:
+		p.Routers, p.Epochs = 64, 2000
+	}
+	return p
+}
+
+// ShedCell is one (policy, pressure) run. Rate divides ingested digests by
+// the wall time of the ingest loop alone. The count columns are the honest
+// ledger: Buffered + Shed always equals Ingested, and Ingested + Rejected
+// always equals the stream size — RunShed fails loudly if either balance
+// breaks, so a committed baseline doubles as a regression check on the
+// accounting.
+type ShedCell struct {
+	Policy      string
+	Pressure    int   // budget = retained-bytes-at-1x / Pressure
+	BudgetBytes int64 // the budget this cell ran under
+	Millis      float64
+	Rate        float64 // digests/sec through Ingest
+	Ingested    int64   // admitted into some window
+	Buffered    int64   // still resident at the end
+	ShedEpochs  int64
+	ShedDigests int64
+	Rejected    int64 // refused at admission (RejectNew only)
+}
+
+// ShedResult reports every cell plus the unbudgeted footprint they were
+// scaled from.
+type ShedResult struct {
+	Params        ShedParams
+	RetainedBytes int64 // accounted bytes of the full stream, no budget
+	Cells         []ShedCell
+}
+
+// Table renders the grid.
+func (r *ShedResult) Table() string {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Policy,
+			fmt.Sprintf("%dx", c.Pressure),
+			fmt.Sprintf("%d", c.BudgetBytes),
+			f1(c.Millis),
+			f1(c.Rate),
+			fmt.Sprintf("%d", c.ShedEpochs),
+			fmt.Sprintf("%d", c.ShedDigests),
+			fmt.Sprintf("%d", c.Rejected),
+		})
+	}
+	t := table(
+		fmt.Sprintf("Admission control under memory pressure (%d routers x %d epochs, %d-bit digests)",
+			r.Params.Routers, r.Params.Epochs, r.Params.Bits),
+		[]string{"policy", "pressure", "budget B", "millis", "digests/sec", "shed epochs", "shed digests", "rejected"},
+		rows,
+	)
+	return t + fmt.Sprintf("full stream retains %d accounted bytes unbudgeted\n", r.RetainedBytes)
+}
+
+// shedVectors builds a small pool of distinct bitmaps; admission cost is
+// per-digest regardless of content, and the pool keeps the stream from
+// flattering any content-dependent path.
+func shedVectors(p ShedParams) []*bitvec.Vector {
+	rng := stats.NewRand(p.Seed)
+	vecs := make([]*bitvec.Vector, 8)
+	for i := range vecs {
+		vecs[i] = bitvec.New(p.Bits)
+		for j := 0; j < p.Bits/4; j++ {
+			vecs[i].Set(rng.Intn(p.Bits))
+		}
+	}
+	return vecs
+}
+
+// runShedCell streams the whole workload into one budgeted center and
+// settles the books.
+func runShedCell(p ShedParams, vecs []*bitvec.Vector, policy center.ShedPolicy, name string, pressure int, budget int64) (ShedCell, error) {
+	c := center.New(center.Config{
+		// MaxEpochs must exceed the stream so the memory budget, not the
+		// epoch-count cap, is the binding constraint being measured.
+		MaxEpochs:         p.Epochs + 1,
+		MemoryBudgetBytes: budget,
+		Shedding:          policy,
+	})
+	start := time.Now()
+	for e := 1; e <= p.Epochs; e++ {
+		for r := 0; r < p.Routers; r++ {
+			c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: e, Bitmap: vecs[(r+e)%len(vecs)]})
+		}
+	}
+	millis := float64(time.Since(start).Microseconds()) / 1000
+
+	s := c.Stats().Snapshot()
+	a, u := c.Pending()
+	cell := ShedCell{
+		Policy:      name,
+		Pressure:    pressure,
+		BudgetBytes: budget,
+		Millis:      millis,
+		Ingested:    s.DigestsIngested,
+		Buffered:    int64(a + u),
+		ShedEpochs:  s.ShedEpochs,
+		ShedDigests: s.ShedDigests,
+		Rejected:    s.RejectedDigests,
+	}
+	if millis > 0 {
+		cell.Rate = float64(cell.Ingested) / (millis / 1000)
+	}
+	total := int64(p.Routers) * int64(p.Epochs)
+	if cell.Buffered+cell.ShedDigests != cell.Ingested {
+		return cell, fmt.Errorf("experiments: shed %s %dx: ledger broken: buffered %d + shed %d != ingested %d",
+			name, pressure, cell.Buffered, cell.ShedDigests, cell.Ingested)
+	}
+	if cell.Ingested+cell.Rejected != total {
+		return cell, fmt.Errorf("experiments: shed %s %dx: stream leaked: ingested %d + rejected %d != sent %d",
+			name, pressure, cell.Ingested, cell.Rejected, total)
+	}
+	if len(c.TakeShedReports()) != int(cell.ShedEpochs) {
+		return cell, fmt.Errorf("experiments: shed %s %dx: tombstone count disagrees with ShedEpochs %d",
+			name, pressure, cell.ShedEpochs)
+	}
+	return cell, nil
+}
+
+// RunShed calibrates the stream's unbudgeted footprint, then runs both
+// policies at 1x, 2x, and 4x pressure.
+func RunShed(p ShedParams) (*ShedResult, error) {
+	if p.Routers <= 0 || p.Epochs <= 0 || p.Bits <= 0 {
+		return nil, fmt.Errorf("experiments: shed: need positive Routers, Epochs, Bits, got %+v", p)
+	}
+	vecs := shedVectors(p)
+
+	// Calibration: ingest everything with no budget and read back the
+	// accounted footprint; the pressure grid divides this.
+	cal := center.New(center.Config{MaxEpochs: p.Epochs + 1})
+	for e := 1; e <= p.Epochs; e++ {
+		for r := 0; r < p.Routers; r++ {
+			cal.Ingest(transport.AlignedDigest{RouterID: r, Epoch: e, Bitmap: vecs[(r+e)%len(vecs)]})
+		}
+	}
+	res := &ShedResult{Params: p, RetainedBytes: cal.BufferedBytes()}
+	if res.RetainedBytes <= 0 {
+		return nil, fmt.Errorf("experiments: shed: calibration retained nothing")
+	}
+
+	for _, pol := range []struct {
+		policy center.ShedPolicy
+		name   string
+	}{{center.ShedOldest, "shed-oldest"}, {center.RejectNew, "reject-new"}} {
+		for _, pressure := range []int{1, 2, 4} {
+			cell, err := runShedCell(p, vecs, pol.policy, pol.name, pressure, res.RetainedBytes/int64(pressure))
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}

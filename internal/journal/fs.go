@@ -1,0 +1,54 @@
+package journal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the journal's view of an open, writable file (a segment or the
+// ANALYZED sidecar): appends, durability, and teardown — nothing else.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem the journal runs on. Production uses the real
+// filesystem (OSFS); faultinject.FS wraps any FS with injectable failures —
+// ENOSPC on append, EIO on fsync, short writes, failed renames — so the
+// degraded-mode state machine is testable without actually filling a disk.
+// Every path the journal touches goes through this interface; a fault the
+// wrapper can see is a fault the degraded-mode tests can schedule.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists dir.
+	ReadDir(dir string) ([]os.DirEntry, error)
+	// ReadFile reads a whole file (segment scans, the ANALYZED sidecar).
+	ReadFile(name string) ([]byte, error)
+	// OpenAppend opens name for appending, creating it if needed.
+	OpenAppend(name string) (File, error)
+	// Remove unlinks name.
+	Remove(name string) error
+	// Rename moves oldname to newname (segment quarantine).
+	Rename(oldname, newname string) error
+	// Truncate cuts name to size bytes (torn-tail and torn-frame repair).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making entry mutations (create,
+	// unlink, rename) as durable as the file contents they point at.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error                 { return os.MkdirAll(dir, 0o755) }
+func (OSFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+func (OSFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (OSFS) Remove(name string) error               { return os.Remove(name) }
+func (OSFS) Rename(oldname, newname string) error   { return os.Rename(oldname, newname) }
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+func (OSFS) SyncDir(dir string) error               { return fsyncDir(dir) }

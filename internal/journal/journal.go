@@ -18,6 +18,17 @@
 // every sealed segment whose recorded epochs are all analyzed, so the journal
 // directory stays proportional to the un-analyzed backlog, not to uptime.
 //
+// Disk faults do not kill the journal: an append, rotate, or fsync failure
+// (ENOSPC, EIO) flips it to a Degraded state that absorbs the failure —
+// appends are suspended and counted in UnjournaledFrames instead of written,
+// so the ingest path keeps serving while crash durability is honestly
+// suspended — and re-arming is retried on a capped exponential backoff.
+// Mid-segment corruption found at recovery quarantines the damaged segment
+// into a quarantine/ subdirectory and rescues every frame that still decodes
+// on both sides of the corrupt gap, instead of losing everything after the
+// torn point. All filesystem access goes through the FS interface so
+// faultinject.FS can schedule these failures deterministically in tests.
+//
 // Duplicates are expected and harmless: a frame can be both delivered and
 // journaled twice (collector resend after a reconnect) or replayed into a
 // center that already holds it; the center's duplicate policy (DupKeepLast by
@@ -25,6 +36,7 @@
 package journal
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -47,10 +59,20 @@ const (
 	// line. A torn last line (crash mid-mark) is ignored on load, which only
 	// means one epoch is re-analyzed — never that one is lost.
 	analyzedName = "ANALYZED"
+	// quarantineDir is the subdirectory that receives segments with
+	// mid-segment corruption: they are moved aside for forensics, replayed
+	// with resynchronization, and never purged automatically.
+	quarantineDir = "quarantine"
 )
 
 // ErrClosed reports an operation on a closed journal.
 var ErrClosed = errors.New("journal: closed")
+
+// ErrDegraded reports an Append absorbed by degraded mode: the digest was NOT
+// journaled (it is counted in UnjournaledFrames) because a disk fault has
+// suspended appends. Ingest should proceed — the in-memory window still gets
+// the digest — but its crash durability is gone until the journal re-arms.
+var ErrDegraded = errors.New("journal: degraded, append suspended")
 
 // Options tunes a journal. The zero value is usable.
 type Options struct {
@@ -60,6 +82,24 @@ type Options struct {
 	// default. Without it an OS crash (not a process crash) can lose the
 	// tail of the active segment.
 	SyncEveryAppend bool
+	// RetryInterval is the base backoff between re-arm attempts after the
+	// journal degrades; each failed attempt doubles the wait, capped at
+	// 64x the base. Zero means 1 second.
+	RetryInterval time.Duration
+	// FS is the filesystem the journal runs on; nil means the real one.
+	// Tests wrap it with faultinject.FS to schedule ENOSPC/EIO/short-write
+	// faults deterministically.
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetryInterval == 0 {
+		o.RetryInterval = time.Second
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
 }
 
 // Stats are the journal's lifetime counters, snapshotted by Stats().
@@ -80,18 +120,42 @@ type Stats struct {
 	// ANALYZED sidecar is first created, so directory entries are as
 	// durable as the file contents they point at.
 	DirSyncs int
+	// UnjournaledFrames counts digests that passed through ingest while the
+	// journal could not durably record them: the append that triggered a
+	// degradation and every append absorbed while degraded. This is the
+	// replay-honesty ledger — after a crash, at most this many frames are
+	// missing from the replayed state, and the operator knows it.
+	UnjournaledFrames int
+	// RearmAttempts and Rearms count degraded-mode recovery tries and
+	// successes.
+	RearmAttempts, Rearms int
+	// SegmentsQuarantined counts segments moved to quarantine/ because
+	// corruption was found mid-segment (decodable frames existed beyond the
+	// corrupt gap) rather than at the tail.
+	SegmentsQuarantined int
+	// FramesRescued counts frames recovered from beyond a corrupt gap by
+	// the resynchronizing scan of a quarantined segment.
+	FramesRescued int
+	// Degraded reports whether appends are currently suspended.
+	Degraded bool
 }
 
 // counters holds the journal's lifetime counts as registry-grade atomics so
 // RegisterMetrics can expose the live values without snapshotting under the
 // journal lock.
 type counters struct {
-	framesAppended metrics.Counter
-	framesReplayed metrics.Counter
-	framesSkipped  metrics.Counter
-	tailsTruncated metrics.Counter
-	segmentsPurged metrics.Counter
-	dirSyncs       metrics.Counter
+	framesAppended      metrics.Counter
+	framesReplayed      metrics.Counter
+	framesSkipped       metrics.Counter
+	tailsTruncated      metrics.Counter
+	segmentsPurged      metrics.Counter
+	dirSyncs            metrics.Counter
+	unjournaled         metrics.Counter
+	rearmAttempts       metrics.Counter
+	rearms              metrics.Counter
+	segmentsQuarantined metrics.Counter
+	framesRescued       metrics.Counter
+	degraded            metrics.Gauge
 }
 
 // fsyncDir makes a batch of directory-entry mutations (segment creates and
@@ -99,7 +163,8 @@ type counters struct {
 // persists its contents, not the directory entry naming it, so without this
 // a crash can resurrect purged segments — re-replaying analyzed epochs — or
 // lose a freshly rotated segment entirely, even with SyncEveryAppend on. A
-// package variable so crash-simulation tests can observe and fail it.
+// package variable so crash-simulation tests can observe and fail it; it is
+// the OSFS implementation of FS.SyncDir.
 var fsyncDir = func(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -117,6 +182,11 @@ type segment struct {
 	seq    int
 	path   string
 	epochs map[int]bool
+	// quarantined marks a segment living under quarantine/: it carried
+	// mid-segment corruption, is replayed with resynchronization, and its
+	// file is never auto-deleted (forensics beat disk hygiene for a
+	// corruption artifact — operators clean quarantine/ by hand).
+	quarantined bool
 }
 
 // Journal is an append-only digest log. All methods are safe for concurrent
@@ -125,15 +195,27 @@ type segment struct {
 type Journal struct {
 	dir string
 	opt Options
+	fs  FS
 
 	mu           sync.Mutex
-	active       *os.File     // guarded by mu
+	active       File         // guarded by mu; nil while degraded with a broken segment
 	activeSeq    int          // guarded by mu
 	activeEpochs map[int]bool // guarded by mu
+	// activeOffset is the byte offset of the last well-formed frame boundary
+	// in the active segment — only bytes of fully written frames count, so a
+	// failed append can reconcile the on-disk file back to this offset
+	// instead of leaving a torn frame (or worse, assuming the write
+	// happened and desynchronizing every frame after it).
+	activeOffset int64        // guarded by mu
 	sealed       []segment    // guarded by mu
 	analyzed     map[int]bool // guarded by mu
-	analyzedF    *os.File     // guarded by mu
+	analyzedF    File         // guarded by mu
 	closed       bool         // guarded by mu
+
+	degraded      bool          // guarded by mu
+	degradedCause error         // guarded by mu; first or latest fault
+	nextRetry     time.Time     // guarded by mu; earliest next re-arm attempt
+	retryWait     time.Duration // guarded by mu; current backoff step
 
 	// ctr and fsync are atomic; they are read by scrapes and RegisterMetrics
 	// gauges without taking mu.
@@ -142,18 +224,22 @@ type Journal struct {
 }
 
 // Open opens (creating if needed) the journal in dir. Existing segments are
-// scanned and their torn tails truncated; frames surviving the scan are
-// available to Replay. A fresh segment is started for subsequent Appends, so
-// recovery never appends into a file it also replays from.
+// scanned: torn tails are truncated, and segments with decodable frames
+// beyond a corrupt gap are quarantined (moved under quarantine/ and replayed
+// with resynchronization). Frames surviving either scan are available to
+// Replay. A fresh segment is started for subsequent Appends, so recovery
+// never appends into a file it also replays from.
 func Open(dir string, opt Options) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
+	opt = opt.withDefaults()
 	j := &Journal{
 		dir:          dir,
 		opt:          opt,
+		fs:           opt.FS,
 		activeEpochs: make(map[int]bool),
 		analyzed:     make(map[int]bool),
+	}
+	if err := j.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
 	}
 	// The journal is not shared yet, but the load helpers touch guarded
 	// fields, so take the (uncontended) lock for construction and keep the
@@ -167,20 +253,23 @@ func Open(dir string, opt Options) (*Journal, error) {
 		return nil, err
 	}
 	last := 0
-	if n := len(j.sealed); n > 0 {
-		last = j.sealed[n-1].seq
+	for _, s := range j.sealed {
+		if s.seq > last {
+			last = s.seq
+		}
 	}
 	j.activeSeq = last + 1
-	f, err := os.OpenFile(j.segPath(j.activeSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenAppend(j.segPath(j.activeSeq))
 	if err != nil {
 		return nil, fmt.Errorf("journal: open active segment: %w", err)
 	}
 	j.active = f
+	j.activeOffset = 0
 	// One directory sync covers everything Open mutated: the ANALYZED
 	// sidecar's creation, torn-tail truncations, frameless-segment removals,
-	// and the fresh active segment's entry. Without it a crash right after
-	// Open can lose the active segment's name — every synced append after
-	// that would be appending to an unreachable inode.
+	// quarantine moves, and the fresh active segment's entry. Without it a
+	// crash right after Open can lose the active segment's name — every
+	// synced append after that would be appending to an unreachable inode.
 	if err := j.syncDirLocked(); err != nil {
 		return nil, err
 	}
@@ -190,7 +279,7 @@ func Open(dir string, opt Options) (*Journal, error) {
 // syncDirLocked fsyncs the journal directory and counts it. Caller holds
 // j.mu (or is constructing the journal).
 func (j *Journal) syncDirLocked() error {
-	if err := fsyncDir(j.dir); err != nil {
+	if err := j.fs.SyncDir(j.dir); err != nil {
 		return fmt.Errorf("journal: sync dir %s: %w", j.dir, err)
 	}
 	j.ctr.dirSyncs.Inc()
@@ -205,7 +294,7 @@ func (j *Journal) segPath(seq int) string {
 // tail) are ignored. Caller holds j.mu.
 func (j *Journal) loadAnalyzedLocked() error {
 	path := filepath.Join(j.dir, analyzedName)
-	data, err := os.ReadFile(path)
+	data, err := j.fs.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("journal: read %s: %w", analyzedName, err)
 	}
@@ -218,7 +307,7 @@ func (j *Journal) loadAnalyzedLocked() error {
 			j.analyzed[e] = true
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenAppend(path)
 	if err != nil {
 		return fmt.Errorf("journal: open %s: %w", analyzedName, err)
 	}
@@ -226,57 +315,159 @@ func (j *Journal) loadAnalyzedLocked() error {
 	return nil
 }
 
-// loadSegmentsLocked scans every existing segment, truncating torn tails
-// and removing segments with no recoverable frames. Caller holds j.mu.
+// parseSegName extracts the sequence number from a segment file name, or
+// (0, false) for foreign files.
+func parseSegName(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// loadSegmentsLocked scans every existing segment — the journal directory
+// proper plus any survivors already under quarantine/ — classifying each as
+// clean, torn-tail (truncate back to the valid prefix), or mid-segment
+// corrupt (decodable frames exist beyond the corrupt gap: move the file to
+// quarantine/ and keep every frame the resynchronizing scan can rescue).
+// Caller holds j.mu.
 func (j *Journal) loadSegmentsLocked() error {
-	entries, err := os.ReadDir(j.dir)
+	entries, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	var seqs []int
 	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
-			continue
+		if n, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, n)
 		}
-		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
-		if err != nil || n <= 0 {
-			continue // foreign file; leave it alone
-		}
-		seqs = append(seqs, n)
 	}
 	sort.Ints(seqs)
 	for _, seq := range seqs {
-		path := j.segPath(seq)
-		f, err := os.Open(path)
-		if err != nil {
-			return fmt.Errorf("journal: %w", err)
+		if err := j.loadSegmentLocked(seq, j.segPath(seq), false); err != nil {
+			return err
 		}
-		epochs := make(map[int]bool)
-		valid, torn, _ := scanFrames(f, func(m transport.Message) error {
-			if e, ok := epochOf(m); ok {
-				epochs[e] = true
-			}
+	}
+	// Segments the pass above just moved into quarantine/ are already in
+	// j.sealed; the survivor scan below must not load them a second time.
+	loaded := make(map[int]bool, len(j.sealed))
+	for _, s := range j.sealed {
+		loaded[s.seq] = true
+	}
+	// Quarantined survivors from an earlier run: re-scan them (with resync)
+	// so their un-analyzed frames stay replayable across multiple crashes.
+	// A missing quarantine directory just means nothing was ever moved.
+	qdir := filepath.Join(j.dir, quarantineDir)
+	qentries, err := j.fs.ReadDir(qdir)
+	if err != nil {
+		if os.IsNotExist(err) {
 			return nil
-		})
-		//dcslint:ignore errcrit the segment was opened read-only for the scan; closing it cannot lose written data
-		f.Close()
-		if torn {
-			if err := os.Truncate(path, valid); err != nil {
-				return fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
-			}
-			j.ctr.tailsTruncated.Inc()
 		}
-		if valid == 0 {
-			// Nothing recoverable (an empty active segment from a clean
-			// shutdown, or a tail torn at frame zero).
-			//dcslint:ignore errcrit best-effort cleanup of a frameless file; a survivor holds no replayable data and is re-tried next Open
-			os.Remove(path)
+		return fmt.Errorf("journal: %w", err)
+	}
+	var qseqs []int
+	for _, e := range qentries {
+		if n, ok := parseSegName(e.Name()); ok {
+			qseqs = append(qseqs, n)
+		}
+	}
+	sort.Ints(qseqs)
+	for _, seq := range qseqs {
+		if loaded[seq] {
 			continue
 		}
-		j.sealed = append(j.sealed, segment{seq: seq, path: path, epochs: epochs})
+		if err := j.loadSegmentLocked(seq, filepath.Join(qdir, j.segName(seq)), true); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+func (j *Journal) segName(seq int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)
+}
+
+// loadSegmentLocked scans one segment file and files it into j.sealed.
+// Caller holds j.mu.
+func (j *Journal) loadSegmentLocked(seq int, path string, quarantined bool) error {
+	data, err := j.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	epochs := make(map[int]bool)
+	collect := func(m transport.Message) error {
+		if e, ok := epochOf(m); ok {
+			epochs[e] = true
+		}
+		return nil
+	}
+	valid, torn, _ := scanFrames(bytes.NewReader(data), collect)
+	rescued := 0
+	if torn || quarantined {
+		// Look past the corruption: frames that still decode (each one CRC
+		// verified) prove the damage is mid-segment, not a torn tail.
+		rescued, _ = resyncFrames(data[minInt64(valid+1, int64(len(data))):], collect)
+	}
+	switch {
+	case quarantined:
+		// Already quarantined by an earlier run; keep it replayable.
+	case torn && rescued > 0:
+		// Mid-segment corruption: a plain truncate would discard the
+		// rescued frames along with the garbage. Move the whole file aside
+		// and replay it with resynchronization.
+		qpath := filepath.Join(j.dir, quarantineDir, j.segName(seq))
+		if err := j.fs.MkdirAll(filepath.Join(j.dir, quarantineDir)); err != nil {
+			return fmt.Errorf("journal: quarantine dir: %w", err)
+		}
+		if err := j.fs.Rename(path, qpath); err != nil {
+			// The move failed (the disk may be the very thing that is
+			// broken); fall back to the old lose-the-tail truncation so
+			// recovery still converges.
+			if terr := j.fs.Truncate(path, valid); terr != nil {
+				return fmt.Errorf("journal: quarantine %s failed (%v) and truncate failed: %w", path, err, terr)
+			}
+			j.ctr.tailsTruncated.Inc()
+			if valid == 0 {
+				//dcslint:ignore errcrit best-effort cleanup of a frameless file; a survivor holds no replayable data and is re-tried next Open
+				j.fs.Remove(path)
+				return nil
+			}
+			j.sealed = append(j.sealed, segment{seq: seq, path: path, epochs: epochs})
+			return nil
+		}
+		j.ctr.segmentsQuarantined.Inc()
+		j.ctr.framesRescued.Add(int64(rescued))
+		j.sealed = append(j.sealed, segment{seq: seq, path: qpath, epochs: epochs, quarantined: true})
+		return nil
+	case torn:
+		if err := j.fs.Truncate(path, valid); err != nil {
+			return fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+		j.ctr.tailsTruncated.Inc()
+	}
+	if valid == 0 && rescued == 0 {
+		if quarantined {
+			// Nothing recoverable, but the artifact stays for forensics.
+			return nil
+		}
+		// Nothing recoverable (an empty active segment from a clean
+		// shutdown, or a tail torn at frame zero).
+		//dcslint:ignore errcrit best-effort cleanup of a frameless file; a survivor holds no replayable data and is re-tried next Open
+		j.fs.Remove(path)
+		return nil
+	}
+	j.sealed = append(j.sealed, segment{seq: seq, path: path, epochs: epochs, quarantined: quarantined})
+	return nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // epochOf extracts the measurement epoch a digest message is stamped with.
@@ -303,14 +494,31 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// countingWriter tracks how many bytes actually reached the underlying file,
+// so a failed append knows the exact on-disk damage: the frame encoder may
+// have written the header before the payload write failed, or the file may
+// have taken a short write, and reconciling the segment offset with reality
+// is what keeps every frame after the failure decodable.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // scanFrames decodes consecutive transport frames from r, invoking fn on
 // each. It returns the offset just past the last well-formed frame and
 // whether the stream was torn — ended mid-frame or with bytes the decoder
-// rejects (bad magic, bad CRC, implausible geometry). A torn middle loses
-// the segment's tail: framing cannot resynchronize past corruption, and a
-// digest with a valid frame but corrupt payload would silently perturb the
-// correlation statistics, which is exactly what the CRC exists to prevent.
-// fn errors abort the scan and are returned verbatim.
+// rejects (bad magic, bad CRC, implausible geometry). Framing cannot
+// resynchronize blindly past corruption — that is resyncFrames's job, which
+// hunts for the next CRC-verified frame — and a digest with a valid frame
+// but corrupt payload would silently perturb the correlation statistics,
+// which is exactly what the CRC exists to prevent. fn errors abort the scan
+// and are returned verbatim.
 func scanFrames(r io.Reader, fn func(transport.Message) error) (valid int64, torn bool, err error) {
 	cr := &countingReader{r: r}
 	for {
@@ -330,34 +538,213 @@ func scanFrames(r io.Reader, fn func(transport.Message) error) (valid int64, tor
 	}
 }
 
+// frameMagic is the on-disk byte pattern opening every frame ("DCS1",
+// little-endian), the needle the resynchronizing scan hunts for.
+var frameMagic = []byte("DCS1")
+
+// resyncFrames rescues decodable frames from data, which starts at (or
+// somewhere inside) a corrupt region: it searches for the next frame-magic
+// candidate, decodes consecutive frames from there, and on further
+// corruption repeats the hunt. Every rescued frame passed its CRC-32C, so a
+// false-positive magic inside garbage is rejected rather than delivered
+// (the odds of random bytes passing the checksum are 2^-32 per candidate —
+// rescue can lose frames, it cannot invent them). Returns how many frames fn
+// accepted; fn errors abort the scan.
+func resyncFrames(data []byte, fn func(transport.Message) error) (int, error) {
+	rescued := 0
+	off := 0
+	for off < len(data) {
+		idx := bytes.Index(data[off:], frameMagic)
+		if idx < 0 {
+			return rescued, nil
+		}
+		start := off + idx
+		n := 0
+		valid, _, err := scanFrames(bytes.NewReader(data[start:]), func(m transport.Message) error {
+			n++
+			if fn != nil {
+				return fn(m)
+			}
+			return nil
+		})
+		rescued += n
+		if err != nil {
+			return rescued, err
+		}
+		if valid > 0 {
+			off = start + int(valid)
+		} else {
+			off = start + 1 // false-positive magic; step past it
+		}
+	}
+	return rescued, nil
+}
+
 // Append writes one digest frame to the active segment. Call it before (or
 // concurrently with) Center.Ingest — the duplicate policy makes the ordering
-// immaterial. A failed append rotates to a fresh segment so one bad write
-// cannot desynchronize the frames that follow it.
+// immaterial.
+//
+// Failures never propagate as fatal: a write, sync, or rotate failure flips
+// the journal to Degraded — the frame is counted in UnjournaledFrames, the
+// on-disk segment is reconciled back to the last whole-frame boundary, and
+// Append returns ErrDegraded (wrapping the fault) for this and every
+// subsequent frame until a backoff-timed re-arm succeeds. Callers keep
+// ingesting; only crash durability is suspended, and the counter says by
+// exactly how much.
 func (j *Journal) Append(m transport.Message) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
 	}
-	if err := transport.Write(j.active, m); err != nil {
-		// The segment may now end in a torn frame; recovery would truncate
-		// it, taking any frames appended after it along. Seal it off.
-		if rerr := j.rotateLocked(); rerr != nil {
-			return fmt.Errorf("journal: append failed (%v) and rotate failed: %w", err, rerr)
+	if j.degraded {
+		if time.Now().After(j.nextRetry) {
+			j.rearmLocked()
 		}
-		return fmt.Errorf("journal: append: %w", err)
+		if j.degraded {
+			j.ctr.unjournaled.Inc()
+			return fmt.Errorf("%w: %w", ErrDegraded, j.degradedCause)
+		}
 	}
+	cw := &countingWriter{w: j.active}
+	if err := transport.Write(cw, m); err != nil {
+		// Reconcile the on-disk offset with what actually happened: cw.n
+		// bytes of a torn frame may follow the last good boundary. Cutting
+		// them back keeps the segment's surviving prefix cleanly framed; if
+		// even the truncate fails, Open-time recovery will do the same cut.
+		if cw.n > 0 {
+			if terr := j.fs.Truncate(j.segPath(j.activeSeq), j.activeOffset); terr == nil {
+				j.ctr.tailsTruncated.Inc()
+			}
+		}
+		j.degradeLocked(fmt.Errorf("append: %w", err))
+		j.ctr.unjournaled.Inc()
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	j.activeOffset += cw.n
 	if e, ok := epochOf(m); ok {
 		j.activeEpochs[e] = true
 	}
 	j.ctr.framesAppended.Inc()
+	// A successful durable append is the all-clear that resets the re-arm
+	// backoff to its base for the next incident.
+	j.retryWait = 0
 	if j.opt.SyncEveryAppend {
 		if err := j.syncActiveLocked(); err != nil {
-			return err
+			// The frame reached the file but its durability is unknown; an
+			// OS crash could lose it, so it counts as unjournaled and the
+			// fault degrades the journal like any other.
+			j.degradeLocked(err)
+			j.ctr.unjournaled.Inc()
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 	}
 	return nil
+}
+
+// degradeLocked flips the journal into degraded mode (or refreshes the cause
+// while already degraded) and schedules the next re-arm attempt on a capped
+// exponential backoff. Caller holds j.mu.
+func (j *Journal) degradeLocked(cause error) {
+	j.degradedCause = cause
+	if !j.degraded {
+		j.degraded = true
+		j.ctr.degraded.Set(1)
+	}
+	if j.retryWait == 0 {
+		j.retryWait = j.opt.RetryInterval
+	} else if j.retryWait < 64*j.opt.RetryInterval {
+		j.retryWait *= 2
+	}
+	j.nextRetry = time.Now().Add(j.retryWait)
+}
+
+// rearmLocked attempts to leave degraded mode: the broken active segment is
+// abandoned (its cleanly framed prefix stays sealed for replay), a fresh
+// segment and sidecar handle are opened, and the directory is synced. Any
+// failure keeps the journal degraded and pushes the backoff. Caller holds
+// j.mu.
+func (j *Journal) rearmLocked() {
+	j.ctr.rearmAttempts.Inc()
+	if j.active != nil {
+		//dcslint:ignore errcrit degraded-mode teardown of an already-failed segment file; its cleanly framed prefix is sealed below and Open-time recovery re-truncates any torn tail a failed close leaves
+		j.active.Close()
+		j.active = nil
+	}
+	if len(j.activeEpochs) > 0 {
+		j.sealed = append(j.sealed, segment{
+			seq:    j.activeSeq,
+			path:   j.segPath(j.activeSeq),
+			epochs: j.activeEpochs,
+		})
+		j.activeEpochs = make(map[int]bool)
+	}
+	j.activeSeq++
+	f, err := j.fs.OpenAppend(j.segPath(j.activeSeq))
+	if err != nil {
+		j.degradeLocked(fmt.Errorf("rearm: %w", err))
+		return
+	}
+	// Reopen the sidecar too: the fault that degraded the journal may have
+	// hit it (EpochAnalyzed's mark path), and a stale broken handle would
+	// re-degrade on the first mark after an otherwise clean re-arm.
+	sf, err := j.fs.OpenAppend(filepath.Join(j.dir, analyzedName))
+	if err != nil {
+		//dcslint:ignore errcrit the fresh segment is empty — no frame has been written to it — so closing it on the abort path cannot lose data
+		f.Close()
+		j.degradeLocked(fmt.Errorf("rearm sidecar: %w", err))
+		return
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		//dcslint:ignore errcrit the fresh segment is empty — no frame has been written to it — so closing it on the abort path cannot lose data
+		f.Close()
+		//dcslint:ignore errcrit the reopened sidecar took no writes on this path; the ANALYZED contents it points at are already durable
+		sf.Close()
+		j.degradeLocked(fmt.Errorf("rearm: sync dir: %w", err))
+		return
+	}
+	j.ctr.dirSyncs.Inc()
+	if j.analyzedF != nil {
+		//dcslint:ignore errcrit replacing a possibly-broken sidecar handle; every durable mark was already Synced at write time, so this close cannot lose one
+		j.analyzedF.Close()
+	}
+	j.analyzedF = sf
+	j.active = f
+	j.activeOffset = 0
+	j.degraded = false
+	j.degradedCause = nil
+	j.ctr.degraded.Set(0)
+	j.ctr.rearms.Inc()
+}
+
+// TryRearm attempts to leave degraded mode right now, ignoring the backoff
+// timer — the hook for an operator action or a daemon tick that knows the
+// disk was just fixed. Reports whether the journal is healthy afterwards.
+func (j *Journal) TryRearm() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return false
+	}
+	if j.degraded {
+		j.rearmLocked()
+	}
+	return !j.degraded
+}
+
+// Degraded reports whether appends are currently suspended by a disk fault.
+func (j *Journal) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// DegradedCause returns the fault that degraded the journal, or nil when
+// healthy.
+func (j *Journal) DegradedCause() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degradedCause
 }
 
 // syncActiveLocked fsyncs the active segment, feeding the latency histogram.
@@ -373,14 +760,23 @@ func (j *Journal) syncActiveLocked() error {
 }
 
 // Sync flushes the active segment to stable storage (for callers batching
-// appends with SyncEveryAppend off).
+// appends with SyncEveryAppend off). A failure degrades the journal like a
+// failed append — by the time Sync fails the data may already be lost, and
+// pretending otherwise is what degraded mode exists to avoid.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
 	}
-	return j.syncActiveLocked()
+	if j.degraded {
+		return fmt.Errorf("%w: %w", ErrDegraded, j.degradedCause)
+	}
+	if err := j.syncActiveLocked(); err != nil {
+		j.degradeLocked(err)
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	return nil
 }
 
 // rotateLocked seals the active segment and starts a new one. Caller holds
@@ -390,7 +786,7 @@ func (j *Journal) rotateLocked() error {
 	j.active.Close()
 	if len(j.activeEpochs) == 0 {
 		//dcslint:ignore errcrit best-effort cleanup of an epochless segment; a survivor is removed at the next Open
-		os.Remove(j.segPath(j.activeSeq))
+		j.fs.Remove(j.segPath(j.activeSeq))
 	} else {
 		j.sealed = append(j.sealed, segment{
 			seq:    j.activeSeq,
@@ -400,11 +796,13 @@ func (j *Journal) rotateLocked() error {
 	}
 	j.activeEpochs = make(map[int]bool)
 	j.activeSeq++
-	f, err := os.OpenFile(j.segPath(j.activeSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenAppend(j.segPath(j.activeSeq))
 	if err != nil {
+		j.active = nil
 		return fmt.Errorf("journal: rotate: %w", err)
 	}
 	j.active = f
+	j.activeOffset = 0
 	// The new active segment's directory entry (and any epochless-segment
 	// removal above) must be durable before appends land in it: SyncEveryAppend
 	// fsyncs file contents, which cannot save a file whose name a crash
@@ -416,6 +814,10 @@ func (j *Journal) rotateLocked() error {
 // by future Replays, the active segment is rotated so later epochs accrue in
 // a fresh file, and every sealed segment whose epochs are all analyzed is
 // deleted. Call it after Center.Analyze succeeds for the epoch.
+//
+// A failed mark is rolled back (the epoch will be replayed and re-analyzed
+// after a restart — the duplicate policy absorbs that) and the journal
+// degrades; it never purges on a mark whose durability is unknown.
 func (j *Journal) EpochAnalyzed(epoch int) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -425,17 +827,24 @@ func (j *Journal) EpochAnalyzed(epoch int) error {
 	if !j.analyzed[epoch] {
 		j.analyzed[epoch] = true
 		if _, err := fmt.Fprintf(j.analyzedF, "%d\n", epoch); err != nil {
-			return fmt.Errorf("journal: mark epoch %d analyzed: %w", epoch, err)
+			// The mark may be torn on disk; the loader ignores torn lines,
+			// and rolling back the in-memory mark keeps purge honest.
+			delete(j.analyzed, epoch)
+			j.degradeLocked(fmt.Errorf("mark epoch %d analyzed: %w", epoch, err))
+			return fmt.Errorf("%w: mark epoch %d: %w", ErrDegraded, epoch, err)
 		}
 		// The mark is what licenses deleting frames; it must be durable
 		// before any purge below acts on it.
 		if err := j.analyzedF.Sync(); err != nil {
-			return fmt.Errorf("journal: sync %s: %w", analyzedName, err)
+			delete(j.analyzed, epoch)
+			j.degradeLocked(fmt.Errorf("sync %s: %w", analyzedName, err))
+			return fmt.Errorf("%w: sync %s: %w", ErrDegraded, analyzedName, err)
 		}
 	}
-	if len(j.activeEpochs) > 0 {
+	if !j.degraded && len(j.activeEpochs) > 0 {
 		if err := j.rotateLocked(); err != nil {
-			return err
+			j.degradeLocked(err)
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 	}
 	return j.purgeLocked()
@@ -444,7 +853,9 @@ func (j *Journal) EpochAnalyzed(epoch int) error {
 // purgeLocked deletes sealed segments whose every epoch is analyzed, then
 // fsyncs the directory so the deletions stick: an unlink that a crash rolls
 // back resurrects the segment, and the next restart would re-replay epochs
-// the ANALYZED sidecar may itself have lost the mark for. Caller holds j.mu.
+// the ANALYZED sidecar may itself have lost the mark for. Quarantined
+// segments are retired from the replay set but their files stay on disk —
+// they are corruption evidence, not backlog. Caller holds j.mu.
 func (j *Journal) purgeLocked() error {
 	purged := 0
 	kept := j.sealed[:0]
@@ -457,7 +868,10 @@ func (j *Journal) purgeLocked() error {
 			}
 		}
 		if done {
-			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			if s.quarantined {
+				continue // drop from the replay set; keep the artifact
+			}
+			if err := j.fs.Remove(s.path); err != nil && !os.IsNotExist(err) {
 				kept = append(kept, s) // retry at the next purge
 				continue
 			}
@@ -467,17 +881,31 @@ func (j *Journal) purgeLocked() error {
 		}
 		kept = append(kept, s)
 	}
+	// Zero the tail entries the in-place filter dropped so they do not pin
+	// their epoch maps.
+	for i := len(kept); i < len(j.sealed); i++ {
+		j.sealed[i] = segment{}
+	}
 	j.sealed = kept
 	if purged == 0 {
 		return nil
 	}
-	return j.syncDirLocked()
+	if err := j.syncDirLocked(); err != nil {
+		// The unlinks may not be durable; a crash can resurrect the purged
+		// segments, whose epochs the durable ANALYZED sidecar will skip at
+		// replay. Degrade so the operator sees the disk misbehaving.
+		j.degradeLocked(err)
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	return nil
 }
 
 // Replay feeds every surviving frame of an un-analyzed epoch to fn, oldest
 // segment first (within a segment, append order — which is ingest order).
-// Point fn at Center.Ingest and the center's windows are rebuilt exactly as
-// a crashed process left them, duplicates absorbed by the duplicate policy.
+// Quarantined segments are replayed with resynchronization: their cleanly
+// framed prefix and every CRC-verified frame beyond the corrupt gap. Point
+// fn at Center.Ingest and the center's windows are rebuilt exactly as a
+// crashed process left them, duplicates absorbed by the duplicate policy.
 // Call Replay once, after Open and before serving new traffic. fn errors
 // abort the replay.
 func (j *Journal) Replay(fn func(transport.Message) error) error {
@@ -494,23 +922,27 @@ func (j *Journal) Replay(fn func(transport.Message) error) error {
 	j.mu.Unlock()
 
 	replayed, skipped := 0, 0
+	deliver := func(m transport.Message) error {
+		if e, ok := epochOf(m); ok && analyzed[e] {
+			skipped++
+			return nil
+		}
+		replayed++
+		return fn(m)
+	}
 	for _, s := range segs {
-		f, err := os.Open(s.path)
+		data, err := j.fs.ReadFile(s.path)
 		if err != nil {
 			return fmt.Errorf("journal: replay %s: %w", s.path, err)
 		}
-		_, _, err = scanFrames(f, func(m transport.Message) error {
-			if e, ok := epochOf(m); ok && analyzed[e] {
-				skipped++
-				return nil
-			}
-			replayed++
-			return fn(m)
-		})
-		//dcslint:ignore errcrit the segment was opened read-only for replay; closing it cannot lose written data
-		f.Close()
+		valid, torn, err := scanFrames(bytes.NewReader(data), deliver)
 		if err != nil {
 			return err
+		}
+		if torn && s.quarantined {
+			if _, err := resyncFrames(data[minInt64(valid+1, int64(len(data))):], deliver); err != nil {
+				return err
+			}
 		}
 	}
 	j.ctr.framesReplayed.Add(int64(replayed))
@@ -529,18 +961,24 @@ func (j *Journal) Segments() int {
 // Stats returns a snapshot of the journal's counters.
 func (j *Journal) Stats() Stats {
 	return Stats{
-		FramesAppended: int(j.ctr.framesAppended.Load()),
-		FramesReplayed: int(j.ctr.framesReplayed.Load()),
-		FramesSkipped:  int(j.ctr.framesSkipped.Load()),
-		TailsTruncated: int(j.ctr.tailsTruncated.Load()),
-		SegmentsPurged: int(j.ctr.segmentsPurged.Load()),
-		DirSyncs:       int(j.ctr.dirSyncs.Load()),
+		FramesAppended:      int(j.ctr.framesAppended.Load()),
+		FramesReplayed:      int(j.ctr.framesReplayed.Load()),
+		FramesSkipped:       int(j.ctr.framesSkipped.Load()),
+		TailsTruncated:      int(j.ctr.tailsTruncated.Load()),
+		SegmentsPurged:      int(j.ctr.segmentsPurged.Load()),
+		DirSyncs:            int(j.ctr.dirSyncs.Load()),
+		UnjournaledFrames:   int(j.ctr.unjournaled.Load()),
+		RearmAttempts:       int(j.ctr.rearmAttempts.Load()),
+		Rearms:              int(j.ctr.rearms.Load()),
+		SegmentsQuarantined: int(j.ctr.segmentsQuarantined.Load()),
+		FramesRescued:       int(j.ctr.framesRescued.Load()),
+		Degraded:            j.ctr.degraded.Load() != 0,
 	}
 }
 
 // RegisterMetrics exposes the journal on a metrics registry: lifetime
-// counters, the per-fsync latency histogram, and a live-segments gauge (the
-// un-purged backlog the next restart would replay).
+// counters, the per-fsync latency histogram, the degraded-state gauge, and a
+// live-segments gauge (the un-purged backlog the next restart would replay).
 func (j *Journal) RegisterMetrics(r *metrics.Registry) {
 	r.RegisterCounter("dcs_journal_appends_total",
 		"digest frames appended to the active segment", &j.ctr.framesAppended)
@@ -549,11 +987,23 @@ func (j *Journal) RegisterMetrics(r *metrics.Registry) {
 	r.RegisterCounter("dcs_journal_frames_skipped_total",
 		"replay frames skipped because their epoch was already analyzed", &j.ctr.framesSkipped)
 	r.RegisterCounter("dcs_journal_tails_truncated_total",
-		"segments whose torn tail was cut back at Open", &j.ctr.tailsTruncated)
+		"segments whose torn tail was cut back at Open or after a failed append", &j.ctr.tailsTruncated)
 	r.RegisterCounter("dcs_journal_segments_purged_total",
 		"sealed segments deleted with every epoch analyzed", &j.ctr.segmentsPurged)
 	r.RegisterCounter("dcs_journal_dir_syncs_total",
 		"fsyncs of the journal directory (segment create/delete durability)", &j.ctr.dirSyncs)
+	r.RegisterCounter("dcs_journal_unjournaled_total",
+		"digests ingested while degraded mode suspended appends (crash-replay shortfall)", &j.ctr.unjournaled)
+	r.RegisterCounter("dcs_journal_rearm_attempts_total",
+		"degraded-mode recovery attempts", &j.ctr.rearmAttempts)
+	r.RegisterCounter("dcs_journal_rearms_total",
+		"successful degraded-mode recoveries", &j.ctr.rearms)
+	r.RegisterCounter("dcs_journal_segments_quarantined_total",
+		"segments moved to quarantine/ for mid-segment corruption", &j.ctr.segmentsQuarantined)
+	r.RegisterCounter("dcs_journal_frames_rescued_total",
+		"frames recovered beyond a corrupt gap by the resynchronizing scan", &j.ctr.framesRescued)
+	r.RegisterGauge("dcs_journal_degraded",
+		"1 while a disk fault has appends suspended, else 0", &j.ctr.degraded)
 	r.RegisterHistogram("dcs_journal_fsync_seconds",
 		"latency of active-segment fsyncs", &j.fsync)
 	r.GaugeFunc("dcs_journal_live_segments",
@@ -572,21 +1022,25 @@ func (j *Journal) Close() error {
 	}
 	j.closed = true
 	var firstErr error
-	if err := j.active.Sync(); err != nil {
-		firstErr = err
-	}
-	if err := j.active.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if len(j.activeEpochs) == 0 {
-		//dcslint:ignore errcrit best-effort cleanup of an epochless segment; a survivor is removed at the next Open
-		os.Remove(j.segPath(j.activeSeq))
-		if err := j.syncDirLocked(); err != nil && firstErr == nil {
+	if j.active != nil {
+		if err := j.active.Sync(); err != nil {
 			firstErr = err
 		}
+		if err := j.active.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if len(j.activeEpochs) == 0 {
+			//dcslint:ignore errcrit best-effort cleanup of an epochless segment; a survivor is removed at the next Open
+			j.fs.Remove(j.segPath(j.activeSeq))
+			if err := j.syncDirLocked(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	if err := j.analyzedF.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	if j.analyzedF != nil {
+		if err := j.analyzedF.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }

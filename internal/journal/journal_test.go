@@ -257,10 +257,14 @@ func TestClosedJournalRefusesWrites(t *testing.T) {
 	}
 }
 
-// FuzzSegmentScan feeds arbitrary bytes to the recovery scanner: it must
-// never panic, the reported valid prefix must lie inside the input and end
-// on a frame boundary, and rescanning that prefix must find it whole (the
-// truncation fixpoint — a second recovery pass never cuts further).
+// FuzzSegmentScan feeds arbitrary bytes to the recovery pipeline — the
+// prefix scanner and the resynchronizing rescue scan behind quarantine. The
+// scanner must never panic, the reported valid prefix must lie inside the
+// input and end on a frame boundary, and rescanning that prefix must find it
+// whole (the truncation fixpoint — a second recovery pass never cuts
+// further). The rescue scan over the post-corruption remainder must never
+// panic either, must be deterministic, and on a clean input must have
+// nothing to rescue.
 func FuzzSegmentScan(f *testing.F) {
 	var seed bytes.Buffer
 	transport.Write(&seed, transport.AlignedDigest{RouterID: 1, Epoch: 2, Bitmap: testBitmap(7, 128)})
@@ -270,6 +274,20 @@ func FuzzSegmentScan(f *testing.F) {
 	f.Add(whole[:len(whole)/2])
 	f.Add([]byte{})
 	f.Add([]byte("DCS1 but not really a frame"))
+	// Mid-segment corruption shapes (not just torn tails): decodable frames
+	// on both sides of a corrupt gap, which the quarantine path must rescue.
+	midFlip := append([]byte(nil), seed.Bytes()...)
+	for i := len(whole) / 2; i < len(whole)/2+4 && i < len(midFlip); i++ {
+		midFlip[i] ^= 0xFF // corrupt the first frame's payload; the second survives
+	}
+	f.Add(midFlip)
+	gap := append([]byte(nil), whole...)
+	gap = append(gap, []byte("garbage DCS1 garbage")...)
+	gap = append(gap, whole...)
+	f.Add(gap)
+	truncated := append([]byte(nil), whole[:len(whole)-3]...)
+	truncated = append(truncated, whole...)
+	f.Add(truncated)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		count := 0
 		valid, torn, err := scanFrames(bytes.NewReader(data), func(transport.Message) error {
@@ -293,6 +311,21 @@ func FuzzSegmentScan(f *testing.F) {
 		if torn2 || valid2 != valid || count2 != count {
 			t.Fatalf("truncation not a fixpoint: valid %d→%d torn2=%v frames %d→%d",
 				valid, valid2, torn2, count, count2)
+		}
+		// The rescue scan the quarantine path runs over everything past the
+		// corruption point: no panics, deterministic, and every rescued
+		// frame decodes (delivery happens only through transport.Read).
+		rest := data[minInt64(valid+1, int64(len(data))):]
+		rescued, err := resyncFrames(rest, func(transport.Message) error { return nil })
+		if err != nil {
+			t.Fatalf("resync error with non-failing fn: %v", err)
+		}
+		rescued2, _ := resyncFrames(rest, nil)
+		if rescued2 != rescued {
+			t.Fatalf("resync not deterministic: %d then %d frames", rescued, rescued2)
+		}
+		if !torn && rescued != 0 {
+			t.Fatalf("clean stream but resync past its end rescued %d frames", rescued)
 		}
 	})
 }

@@ -31,6 +31,12 @@ var errcritMethods = map[string]bool{
 	// epoch-boundary flood depends on.
 	"WriteToUDP": true, "WriteMsgUDP": true,
 	"SetReadBuffer": true, "SetWriteBuffer": true,
+	// Journal FS-interface write path: the degraded-mode work routes
+	// filesystem mutations through an injectable journal.FS, and the method
+	// forms (fs.Remove, fs.Rename, fs.SyncDir, fs.MkdirAll) must stay as
+	// in-scope as the os package functions they wrap — an interface
+	// indirection is not an error laundry.
+	"Remove": true, "Rename": true, "SyncDir": true, "MkdirAll": true,
 }
 
 // errcritOsFuncs are package-level os functions on the same footing.
@@ -46,7 +52,7 @@ var errcritOsFuncs = map[string]bool{
 // a //dcslint:ignore errcrit comment stating why the error cannot lose data.
 var errcritRule = Rule{
 	Name: "errcrit",
-	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, WriteToUDP/Set*Buffer, os.Remove/Rename/...) in journal, transport, center, metrics",
+	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, WriteToUDP/Set*Buffer, os.Remove/Rename/... and their journal.FS method forms) in journal, transport, center, metrics",
 	Run:  runErrcrit,
 }
 

@@ -285,6 +285,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.getOrAdd(&entry{name: name, help: help, kind: kindGauge, gauge: new(Gauge)}).gauge
 }
 
+// RegisterGauge attaches an existing Gauge (a stats-struct field), with the
+// same single-source-of-truth contract as RegisterCounter.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.add(&entry{name: name, help: help, kind: kindGauge, gauge: g})
+}
+
 // GaugeFunc registers a gauge computed by fn at scrape time. fn must be
 // safe for concurrent use; it is called without any registry lock held, so
 // it may take its owner's locks (e.g. a journal reporting live segments).

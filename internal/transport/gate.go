@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// GateConfig tunes the per-sender admission gate both servers can run in
+// front of their decode paths: a token-bucket rate limit and a
+// malformed-traffic strike counter, with quarantine as the shared penalty
+// box. One flooding or garbage-spraying router must not starve the fleet —
+// the gate throttles and isolates per sender, never globally. The zero
+// value disables the gate entirely.
+type GateConfig struct {
+	// Rate is the sustained admission rate per sender in units per second —
+	// frames for the TCP server, datagrams for the UDP server. A sender
+	// that exhausts its bucket is quarantined (a flood is an offense, not a
+	// backpressure signal — well-behaved collectors pace themselves or use
+	// TCP). Zero disables rate limiting.
+	Rate float64
+	// Burst is the bucket depth (instantaneous headroom above Rate). Zero
+	// means max(Rate, 1) — one second of traffic.
+	Burst int
+	// MaxStrikes quarantines a sender after this many malformed frames or
+	// rejected datagrams: honest CRC corruption is rare and random, a
+	// garbage sprayer is neither. Zero disables strike counting.
+	MaxStrikes int
+	// Cooldown is how long a quarantined sender stays blocked; afterwards
+	// it is paroled automatically (strikes forgiven, bucket refilled) — a
+	// rebooted-and-fixed router must not need operator intervention to
+	// rejoin the fleet. Zero means 30 seconds.
+	Cooldown time.Duration
+}
+
+func (g GateConfig) enabled() bool { return g.Rate > 0 || g.MaxStrikes > 0 }
+
+func (g GateConfig) withDefaults() GateConfig {
+	if g.Burst <= 0 {
+		g.Burst = int(g.Rate)
+		if g.Burst < 1 {
+			g.Burst = 1
+		}
+	}
+	if g.Cooldown == 0 {
+		g.Cooldown = 30 * time.Second
+	}
+	return g
+}
+
+// maxTrackedSenders bounds the gate's per-sender state map. At the cap,
+// unknown senders are admitted untracked (fail open): the gate is a defense
+// against misbehaving senders, and letting an attacker with a million source
+// addresses OOM the center via its own defense would be worse than letting
+// the spray through to the prefilter.
+const maxTrackedSenders = 1 << 16
+
+// senderState is one sender's standing with the gate.
+type senderState struct {
+	tokens  float64
+	last    time.Time
+	strikes int
+	// quarantinedUntil is zero while the sender is in good standing.
+	quarantinedUntil time.Time
+}
+
+// senderGate enforces GateConfig per sender key (the remote host for TCP
+// connections and UDP datagrams alike — header fields can be forged by the
+// very traffic the gate exists to stop). All methods are safe for concurrent
+// use and nil-safe: a nil gate admits everything, so the servers' hot paths
+// stay branch-cheap when the feature is off.
+type senderGate struct {
+	cfg   GateConfig
+	stats *Stats
+	// now is the gate's clock, swappable so tests can script cool-downs
+	// instead of sleeping through them.
+	now func() time.Time
+
+	mu      sync.Mutex
+	senders map[string]*senderState // guarded by mu
+}
+
+func newSenderGate(cfg GateConfig, stats *Stats) *senderGate {
+	if !cfg.enabled() {
+		return nil
+	}
+	return &senderGate{
+		cfg:     cfg.withDefaults(),
+		stats:   stats,
+		now:     time.Now,
+		senders: make(map[string]*senderState),
+	}
+}
+
+// senderKey reduces a remote address to the gate's sender identity: the
+// host, so a collector keeps its standing across reconnects and ephemeral
+// source ports.
+func senderKey(addr net.Addr) string {
+	if addr == nil {
+		return ""
+	}
+	if host, _, err := net.SplitHostPort(addr.String()); err == nil {
+		return host
+	}
+	return addr.String()
+}
+
+// stateLocked finds or creates the sender's state, applying parole if its
+// quarantine expired. Returns nil at the tracking cap for unknown senders
+// (admit untracked). Caller holds g.mu.
+func (g *senderGate) stateLocked(key string) *senderState {
+	st, ok := g.senders[key]
+	if !ok {
+		if len(g.senders) >= maxTrackedSenders {
+			return nil
+		}
+		st = &senderState{tokens: float64(g.cfg.Burst), last: g.now()}
+		g.senders[key] = st
+		return st
+	}
+	if !st.quarantinedUntil.IsZero() && g.now().After(st.quarantinedUntil) {
+		// Auto-parole: the cool-down served its sentence. Strikes reset and
+		// the bucket refills — a paroled sender starts clean, and a repeat
+		// offender just earns the next quarantine.
+		st.quarantinedUntil = time.Time{}
+		st.strikes = 0
+		st.tokens = float64(g.cfg.Burst)
+		st.last = g.now()
+		g.stats.Paroles.Add(1)
+		g.stats.QuarantinedSenders.Add(-1)
+	}
+	return st
+}
+
+// quarantineLocked puts the sender in the penalty box (idempotent within one
+// sentence). Caller holds g.mu.
+func (g *senderGate) quarantineLocked(st *senderState) {
+	if !st.quarantinedUntil.IsZero() {
+		return
+	}
+	st.quarantinedUntil = g.now().Add(g.cfg.Cooldown)
+	g.stats.SendersQuarantined.Add(1)
+	g.stats.QuarantinedSenders.Add(1)
+}
+
+// admit charges one unit (frame or datagram) against the sender's bucket.
+// False means the unit must be dropped: the sender is quarantined — either
+// already, or right now for exhausting its bucket. Every refusal counts in
+// QuarantineDrops.
+func (g *senderGate) admit(key string) bool {
+	if g == nil {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.stateLocked(key)
+	if st == nil {
+		return true // tracking cap: fail open
+	}
+	if !st.quarantinedUntil.IsZero() {
+		g.stats.QuarantineDrops.Add(1)
+		return false
+	}
+	if g.cfg.Rate <= 0 {
+		return true
+	}
+	now := g.now()
+	st.tokens += now.Sub(st.last).Seconds() * g.cfg.Rate
+	if max := float64(g.cfg.Burst); st.tokens > max {
+		st.tokens = max
+	}
+	st.last = now
+	if st.tokens < 1 {
+		g.quarantineLocked(st)
+		g.stats.QuarantineDrops.Add(1)
+		return false
+	}
+	st.tokens--
+	return true
+}
+
+// strike records one malformed unit from the sender; MaxStrikes of them earn
+// quarantine. Returns true when this strike tripped it.
+func (g *senderGate) strike(key string) bool {
+	if g == nil || g.cfg.MaxStrikes <= 0 {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.stateLocked(key)
+	if st == nil {
+		return false
+	}
+	g.stats.Strikes.Add(1)
+	if !st.quarantinedUntil.IsZero() {
+		return false
+	}
+	st.strikes++
+	if st.strikes >= g.cfg.MaxStrikes {
+		g.quarantineLocked(st)
+		return true
+	}
+	return false
+}
+
+// blocked reports whether the sender is currently quarantined, counting the
+// probe as a drop when it is (the caller is about to refuse a connection or
+// datagram). Admission without charging a token — the TCP accept path uses
+// it so a quarantined collector cannot even hold a connection open.
+func (g *senderGate) blocked(key string) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.stateLocked(key)
+	if st == nil || st.quarantinedUntil.IsZero() {
+		return false
+	}
+	g.stats.QuarantineDrops.Add(1)
+	return true
+}
+
+// Quarantined lists the currently quarantined sender keys, sorted order not
+// guaranteed — the /healthz payload's raw material.
+func (g *senderGate) Quarantined() []string {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	now := g.now()
+	for key, st := range g.senders {
+		if !st.quarantinedUntil.IsZero() && now.Before(st.quarantinedUntil) {
+			out = append(out, key)
+		}
+	}
+	return out
+}

@@ -24,6 +24,10 @@ type ServerConfig struct {
 	// Stats, when non-nil, receives the server's counters. Several servers
 	// may share one Stats.
 	Stats *Stats
+	// Gate, when enabled (Rate or MaxStrikes set), rate-limits and
+	// quarantines misbehaving senders by remote host. The zero value keeps
+	// the server gateless.
+	Gate GateConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -42,6 +46,7 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 	cfg     ServerConfig
+	gate    *senderGate // nil when the gate is disabled
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{} // guarded by mu
@@ -65,6 +70,7 @@ func ServeConfig(addr string, handler Handler, cfg ServerConfig) (*Server, error
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	s := &Server{ln: ln, handler: handler, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.gate = newSenderGate(s.cfg.Gate, s.cfg.Stats)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -76,6 +82,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Stats returns the server's counters (the shared Stats when one was passed
 // in ServerConfig).
 func (s *Server) Stats() *Stats { return s.cfg.Stats }
+
+// QuarantinedSenders lists sender hosts currently quarantined by the
+// admission gate (nil with the gate disabled).
+func (s *Server) QuarantinedSenders() []string { return s.gate.Quarantined() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -93,6 +103,16 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.gate.blocked(senderKey(conn.RemoteAddr())) {
+			// A quarantined collector does not even get to hold a
+			// connection open; the refusal is counted as a quarantine drop.
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			//dcslint:ignore errcrit refusing a quarantined sender; nothing was read or written on this connection
+			conn.Close()
+			continue
+		}
 		s.cfg.Stats.ConnsAccepted.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
@@ -106,6 +126,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	accepted := time.Now()
+	sender := senderKey(conn.RemoteAddr())
 	defer func() {
 		//dcslint:ignore errcrit read-side teardown; the center never writes to collectors, so a close error cannot lose data
 		conn.Close()
@@ -128,10 +149,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			switch {
 			case errors.Is(err, ErrBadFrame):
 				s.cfg.Stats.BadFrames.Add(1)
+				s.gate.strike(sender)
 			case errors.Is(err, os.ErrDeadlineExceeded):
 				s.cfg.Stats.ConnsReaped.Add(1)
 			}
 			return // EOF, frame error, deadline, or connection closed
+		}
+		if !s.gate.admit(sender) {
+			// Over the rate limit (or already quarantined): the frame is
+			// dropped and the connection closed — the collector's retry path
+			// meets the accept-time quarantine check until parole.
+			return
 		}
 		s.cfg.Stats.FramesIn.Add(1)
 		s.handler(m, conn.RemoteAddr())

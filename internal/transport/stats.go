@@ -70,6 +70,22 @@ type Stats struct {
 	// FramesPerDatagram observes how many digest frames each accepted
 	// datagram carried — the batching efficacy of the UDP path.
 	FramesPerDatagram metrics.Histogram
+
+	// SendersQuarantined counts quarantine sentences handed out by the
+	// admission gate (a repeat offender counts once per sentence);
+	// QuarantinedSenders is the number currently serving one.
+	SendersQuarantined metrics.Counter
+	QuarantinedSenders metrics.Gauge
+	// QuarantineDrops counts frames, datagrams, and connection attempts
+	// refused because their sender was quarantined (including the unit that
+	// earned the sentence).
+	QuarantineDrops metrics.Counter
+	// Strikes counts malformed units the gate charged against tracked
+	// senders — each one also appears in BadFrames or DatagramsRejected,
+	// which keep counting whether or not a gate is running.
+	Strikes metrics.Counter
+	// Paroles counts quarantined senders released after their cool-down.
+	Paroles metrics.Counter
 }
 
 // Register exposes every counter (and the connection-lifetime histogram) on
@@ -115,6 +131,16 @@ func (s *Stats) Register(r *metrics.Registry, ns string) {
 		"datagrams arriving reordered or duplicated (seq at or below highest seen)", &s.DatagramsLate)
 	r.RegisterHistogram(ns+"_frames_per_datagram",
 		"digest frames carried per accepted datagram", &s.FramesPerDatagram)
+	r.RegisterCounter(ns+"_quarantined_senders_total",
+		"quarantine sentences handed out by the admission gate", &s.SendersQuarantined)
+	r.RegisterGauge(ns+"_quarantined_senders",
+		"senders currently serving a quarantine sentence", &s.QuarantinedSenders)
+	r.RegisterCounter(ns+"_quarantined_drops_total",
+		"frames, datagrams, and connections refused from quarantined senders", &s.QuarantineDrops)
+	r.RegisterCounter(ns+"_quarantine_strikes_total",
+		"malformed units charged against tracked senders by the gate", &s.Strikes)
+	r.RegisterCounter(ns+"_quarantine_paroles_total",
+		"quarantined senders released after their cool-down", &s.Paroles)
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
@@ -125,26 +151,33 @@ type Snapshot struct {
 	DialAttempts                                        int64
 	DatagramsOut, DatagramsIn, DatagramsRejected        int64
 	DatagramsLost, DatagramsLate                        int64
+	SendersQuarantined, QuarantinedSenders              int64
+	QuarantineDrops, Strikes, Paroles                   int64
 }
 
 // Snapshot reads every counter once. Counters advance independently, so the
 // snapshot is not a single atomic cut — fine for monitoring.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		FramesIn:          s.FramesIn.Load(),
-		FramesOut:         s.FramesOut.Load(),
-		BadFrames:         s.BadFrames.Load(),
-		ConnsAccepted:     s.ConnsAccepted.Load(),
-		ConnsReaped:       s.ConnsReaped.Load(),
-		Reconnects:        s.Reconnects.Load(),
-		Resends:           s.Resends.Load(),
-		DroppedSends:      s.DroppedSends.Load(),
-		AbandonedOnClose:  s.AbandonedOnClose.Load(),
-		DialAttempts:      s.DialAttempts.Load(),
-		DatagramsOut:      s.DatagramsOut.Load(),
-		DatagramsIn:       s.DatagramsIn.Load(),
-		DatagramsRejected: s.DatagramsRejected.Load(),
-		DatagramsLost:     s.DatagramsLost.Load(),
-		DatagramsLate:     s.DatagramsLate.Load(),
+		FramesIn:           s.FramesIn.Load(),
+		FramesOut:          s.FramesOut.Load(),
+		BadFrames:          s.BadFrames.Load(),
+		ConnsAccepted:      s.ConnsAccepted.Load(),
+		ConnsReaped:        s.ConnsReaped.Load(),
+		Reconnects:         s.Reconnects.Load(),
+		Resends:            s.Resends.Load(),
+		DroppedSends:       s.DroppedSends.Load(),
+		AbandonedOnClose:   s.AbandonedOnClose.Load(),
+		DialAttempts:       s.DialAttempts.Load(),
+		DatagramsOut:       s.DatagramsOut.Load(),
+		DatagramsIn:        s.DatagramsIn.Load(),
+		DatagramsRejected:  s.DatagramsRejected.Load(),
+		DatagramsLost:      s.DatagramsLost.Load(),
+		DatagramsLate:      s.DatagramsLate.Load(),
+		SendersQuarantined: s.SendersQuarantined.Load(),
+		QuarantinedSenders: s.QuarantinedSenders.Load(),
+		QuarantineDrops:    s.QuarantineDrops.Load(),
+		Strikes:            s.Strikes.Load(),
+		Paroles:            s.Paroles.Load(),
 	}
 }

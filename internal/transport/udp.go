@@ -20,6 +20,11 @@ type UDPServerConfig struct {
 	// Stats, when non-nil, receives the server's counters. Several servers
 	// may share one Stats.
 	Stats *Stats
+	// Gate, when enabled (Rate or MaxStrikes set), rate-limits and
+	// quarantines misbehaving senders by remote host — the same gate the
+	// TCP server runs, with datagrams as the unit. The zero value keeps
+	// the server gateless.
+	Gate GateConfig
 }
 
 func (c UDPServerConfig) withDefaults() UDPServerConfig {
@@ -66,6 +71,7 @@ type UDPServer struct {
 	rx      batchReceiver
 	handler Handler
 	cfg     UDPServerConfig
+	gate    *senderGate // nil when the gate is disabled
 
 	mu    sync.Mutex
 	peers map[uint32]uint64 // highest seq seen per sender; guarded by mu
@@ -102,6 +108,7 @@ func ServeUDPConfig(addr string, handler Handler, cfg UDPServerConfig) (*UDPServ
 		rx:      singleReceiver{conn: conn},
 		handler: handler,
 		cfg:     cfg,
+		gate:    newSenderGate(cfg.Gate, cfg.Stats),
 		peers:   make(map[uint32]uint64),
 	}
 	s.wg.Add(1)
@@ -115,6 +122,10 @@ func (s *UDPServer) Addr() string { return s.conn.LocalAddr().String() }
 // Stats returns the server's counters (the shared Stats when one was passed
 // in UDPServerConfig).
 func (s *UDPServer) Stats() *Stats { return s.cfg.Stats }
+
+// QuarantinedSenders lists sender hosts currently quarantined by the
+// admission gate (nil with the gate disabled).
+func (s *UDPServer) QuarantinedSenders() []string { return s.gate.Quarantined() }
 
 func (s *UDPServer) readLoop() {
 	defer s.wg.Done()
@@ -144,8 +155,18 @@ func (s *UDPServer) readLoop() {
 // accounting, and frame decode. Frames that decode cleanly are delivered
 // even when a later frame in the same datagram is corrupt.
 func (s *UDPServer) handleDatagram(buf []byte, from net.Addr) {
+	sender := senderKey(from)
 	if !prefilterDatagram(buf) {
 		s.cfg.Stats.DatagramsRejected.Add(1)
+		// Garbage counts against the sender even when quarantined — a
+		// sprayer that keeps spraying keeps its standing bad, and honest
+		// stray traffic never reaches MaxStrikes.
+		s.gate.strike(sender)
+		return
+	}
+	if !s.gate.admit(sender) {
+		// Quarantined or over the rate limit: the datagram is dropped
+		// before decode, counted in QuarantineDrops.
 		return
 	}
 	s.cfg.Stats.DatagramsIn.Add(1)
@@ -157,6 +178,7 @@ func (s *UDPServer) handleDatagram(buf []byte, from net.Addr) {
 	s.cfg.Stats.FramesPerDatagram.Observe(float64(decoded))
 	if err != nil {
 		s.cfg.Stats.BadFrames.Add(1)
+		s.gate.strike(sender)
 	}
 }
 
