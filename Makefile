@@ -12,11 +12,16 @@ test:
 	$(GO) test ./...
 
 # Project-invariant static analysis: seeded RNG discipline, wall-clock bans in
-# deterministic packages, lock discipline, atomic hygiene, and write-path
-# error handling. Exits non-zero on any unsuppressed finding; see DESIGN.md
-# for the rules and the //dcslint:ignore escape hatch.
+# deterministic packages, lock discipline, atomic hygiene, write-path error
+# handling, and the dataflow rules (wire-taint, map-order determinism,
+# goroutine lifecycle). Exits non-zero on any unsuppressed finding; see
+# DESIGN.md for the rules and the //dcslint:ignore escape hatch. LINTFLAGS
+# passes extra dcslint flags through, e.g.
+#   make lint LINTFLAGS='-json'            machine-readable findings
+#   make lint LINTFLAGS='-show-suppressed' audit the escape hatches
+LINTFLAGS ?=
 lint:
-	$(GO) run ./cmd/dcslint ./...
+	$(GO) run ./cmd/dcslint $(LINTFLAGS) ./...
 
 # Full verification tier: vet, dcslint, the race-enabled test run, and a
 # shuffled-order pass. The transport and center packages spin up real TCP
@@ -69,12 +74,15 @@ chaos:
 		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/... ./cmd/dcsd/...
 
 # Short fuzz of the crash/byte-level decoders: the transport wire reader, the
-# UDP datagram decoder, and the journal recovery scanner. Native Go fuzzing
-# only supports one target per invocation.
+# UDP datagram decoder, the journal recovery scanner, and the trace replay
+# reader (the fourth wiretaint decode surface; its seeds carry the hostile
+# length geometries the rule checks for). Native Go fuzzing only supports one
+# target per invocation.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzReadDatagram -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzSegmentScan -fuzztime $(FUZZTIME) ./internal/journal
+	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/traceio
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,951 @@
+package lint
+
+// This file is the intraprocedural dataflow engine the value-fact rules
+// (today: wiretaint) run on. It grew out of the per-function AST pattern
+// matching the first five rules use: those rules only need to recognize a
+// shape at one program point, but "an untrusted wire integer sizes an
+// allocation" is a property of a *path* — the value is read here, maybe
+// bounds-checked there, and used two statements later. The engine makes that
+// checkable with a deliberately small abstract interpretation:
+//
+//   - One function (or function literal) body at a time, forward, in source
+//     order. No interprocedural propagation: a called function's effects are
+//     havoc (see below), and a closure starts from an empty environment.
+//   - The abstract state maps each *local variable* (including parameters)
+//     to a taint width: 0 means untainted/trusted, w > 0 means "an
+//     attacker-influenced value of at most w significant bits". Widths are
+//     what make the overflow rule precise: two 32-bit wire reads multiplied
+//     in uint64 cannot wrap (32+32 <= 64), the same product in int can
+//     (32+32 > 63) — exactly the PR 6 decodeUnaligned bug class.
+//   - Assignments, conversions, and arithmetic propagate widths through
+//     expressions (conversions clamp to the target type's effective bits;
+//     add/sub may carry, shifts widen, masking by a constant narrows).
+//   - Control flow joins are phi-like: each branch walks a copy of the
+//     environment and the continuation takes the per-variable maximum.
+//     A branch that provably terminates (return/panic/continue/break as its
+//     last statement) contributes nothing to the join. Loop bodies run to a
+//     cheap fixpoint (two passes over the joined state — the lattice is
+//     finite and monotone, and a third pass cannot add facts the second
+//     missed for this lattice height).
+//   - Calls havoc: an unknown callee's results are untrusted-free (width 0,
+//     the caller is responsible for what it does with them) and any local
+//     passed by address loses its facts. This is the conservative choice for
+//     a *bug-finding* taint rule — it trades false negatives across calls
+//     for zero false positives from helpers the engine cannot see; the
+//     decode entry points the rule exists for are self-contained functions.
+//   - Sanitization: an ordered comparison (<, <=, >, >=) mentioning a local
+//     variable untaints that variable from that point on — the idiom every
+//     decoder in this repository uses is "if length > maxFrame { return
+//     ErrBadFrame }", and the engine credits the check when it is evaluated,
+//     which is exactly the fallthrough path's guarantee under short-circuit
+//     evaluation. Named sanitizers (the builtin min, plus anything a rule
+//     registers) untaint their result or designated arguments.
+//
+// The engine reports nothing by itself; a rule supplies the source and sink
+// hooks (taintSources, taintSink) and owns the diagnostics.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// taint is one variable's abstract fact: the maximum number of
+// attacker-influenced significant bits, plus where the taint entered so
+// diagnostics can say "read from the wire at wire.go:130".
+type taint struct {
+	width  uint8
+	origin string
+}
+
+func (t taint) tainted() bool { return t.width > 0 }
+
+// taintEnv is the abstract state at one program point.
+type taintEnv map[*types.Var]taint
+
+func (e taintEnv) clone() taintEnv {
+	out := make(taintEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// join widens e to the per-variable maximum of e and o (phi at a merge
+// point) and reports whether anything changed.
+func (e taintEnv) join(o taintEnv) bool {
+	changed := false
+	for v, t := range o {
+		if cur, ok := e[v]; !ok || t.width > cur.width {
+			e[v] = t
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sinkKind classifies the dangerous uses the engine can detect; the rule
+// decides which ones it reports and with what message.
+type sinkKind int
+
+const (
+	// sinkMakeLen / sinkMakeCap: a tainted length or capacity argument to
+	// make — attacker-sized allocation.
+	sinkMakeLen sinkKind = iota
+	sinkMakeCap
+	// sinkIndex: a tainted index expression — attacker-chosen offset.
+	sinkIndex
+	// sinkSliceBound: a tainted slice-expression bound.
+	sinkSliceBound
+	// sinkMulWrap: a multiplication whose operand magnitudes can exceed the
+	// expression type's effective bits — the guard-bypassing overflow class.
+	sinkMulWrap
+)
+
+// taintSink is one dangerous use of a tainted value.
+type taintSink struct {
+	kind  sinkKind
+	pos   token.Pos
+	taint taint
+	// bits is the expression type's effective bit capacity (sinkMulWrap
+	// only); need is the combined operand magnitude that exceeds it.
+	bits, need int
+}
+
+// sanitizer describes one registered sanitizing function: calling it
+// launders the listed argument indices and/or its results.
+type sanitizer struct {
+	// untaintResult marks every result of the call trusted.
+	untaintResult bool
+	// untaintArgs lists argument indices whose variables become trusted.
+	untaintArgs []int
+}
+
+// SanitizerRegistry maps qualified function names ("pkgpath.Func",
+// "(pkgpath.Type).Method", or "builtin.min") to their laundering behaviour.
+// Ordered comparisons are built into the engine and need no entry; the
+// registry exists so a rule can bless project validation helpers without
+// touching the engine.
+type SanitizerRegistry struct {
+	byName map[string]sanitizer
+}
+
+// NewSanitizerRegistry returns a registry preloaded with the builtins the
+// engine blesses by default: min clamps its result to its smallest operand,
+// so a min(wireValue, limit) result is bounded by the trusted limit.
+func NewSanitizerRegistry() *SanitizerRegistry {
+	r := &SanitizerRegistry{byName: make(map[string]sanitizer)}
+	r.Register("builtin.min", sanitizer{untaintResult: true})
+	return r
+}
+
+// Register adds or replaces one sanitizer entry.
+func (r *SanitizerRegistry) Register(name string, s sanitizer) { r.byName[name] = s }
+
+func (r *SanitizerRegistry) lookup(name string) (sanitizer, bool) {
+	s, ok := r.byName[name]
+	return s, ok
+}
+
+// taintEngine runs the dataflow over one package. The hooks are supplied by
+// the rule that owns the diagnostics.
+type taintEngine struct {
+	pass *Pass
+	// source classifies a call expression as a taint source and returns the
+	// width of the value it produces (0 = not a source).
+	source func(call *ast.CallExpr) (width uint8, origin string)
+	// byteLoadSource, when true, treats every load from a []byte value as an
+	// 8-bit source (wire and disk buffers are byte slices).
+	byteLoadSource bool
+	// sink receives every dangerous use of a tainted value.
+	sink func(s taintSink)
+	// sanitizers is the laundering registry (never nil).
+	sanitizers *SanitizerRegistry
+
+	// fn is the span of the unit under analysis; locals declared inside it
+	// are the only variables tracked.
+	fnPos, fnEnd token.Pos
+}
+
+// run walks every function declaration and literal in the package, each as
+// an independent unit.
+func (en *taintEngine) run() {
+	for _, file := range en.pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			en.runUnit(fd.Pos(), fd.End(), fd.Body)
+		}
+	}
+}
+
+// runUnit analyzes one body with an empty initial environment, then recurses
+// into the function literals it skipped.
+func (en *taintEngine) runUnit(pos, end token.Pos, body *ast.BlockStmt) {
+	savedPos, savedEnd := en.fnPos, en.fnEnd
+	en.fnPos, en.fnEnd = pos, end
+	env := make(taintEnv)
+	en.walkStmts(body.List, env)
+	en.fnPos, en.fnEnd = savedPos, savedEnd
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			en.runUnit(lit.Pos(), lit.End(), lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// localVar resolves id to a variable declared inside the current unit (a
+// parameter, named result, or body local); package-level variables and
+// struct fields are not tracked.
+func (en *taintEngine) localVar(id *ast.Ident) *types.Var {
+	obj := en.pass.Pkg.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() < en.fnPos || v.Pos() > en.fnEnd {
+		return nil
+	}
+	return v
+}
+
+// effectiveBits is the magnitude capacity of a type: how many significant
+// bits a non-negative value of the type can hold before wrapping. Signed
+// types lose their sign bit; int/uint are taken at 64-bit sizes (every
+// deployment target of this repository).
+func effectiveBits(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 64
+	}
+	switch b.Kind() {
+	case types.Uint64, types.Uintptr, types.Uint, types.UntypedInt:
+		return 64
+	case types.Int64, types.Int:
+		return 63
+	case types.Uint32:
+		return 32
+	case types.Int32, types.UntypedRune:
+		return 31
+	case types.Uint16:
+		return 16
+	case types.Int16:
+		return 15
+	case types.Uint8:
+		return 8
+	case types.Int8:
+		return 7
+	default:
+		return 64
+	}
+}
+
+func capWidth(w int) uint8 {
+	if w > 64 {
+		return 64
+	}
+	if w < 0 {
+		return 0
+	}
+	return uint8(w)
+}
+
+// constBits is the magnitude of a constant expression in bits, or 0 for
+// non-constants (trusted runtime values carry no magnitude of their own —
+// only tainted widths and constants feed the wrap check).
+func (en *taintEngine) constBits(e ast.Expr) int {
+	tv, ok := en.pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0
+	}
+	if tv.Value.Kind() != constant.Int {
+		return 0
+	}
+	v := constant.ToInt(tv.Value)
+	if i, exact := constant.Int64Val(v); exact {
+		if i < 0 {
+			i = -i
+		}
+		bits := 0
+		for u := uint64(i); u != 0; u >>= 1 {
+			bits++
+		}
+		return bits
+	}
+	return 64
+}
+
+// isConst reports whether e is a compile-time constant.
+func (en *taintEngine) isConst(e ast.Expr) bool {
+	tv, ok := en.pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// --- statement walk ---------------------------------------------------------
+
+// walkStmts interprets a statement list in order, mutating env.
+func (en *taintEngine) walkStmts(list []ast.Stmt, env taintEnv) {
+	for _, s := range list {
+		en.walkStmt(s, env)
+	}
+}
+
+func (en *taintEngine) walkStmt(s ast.Stmt, env taintEnv) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		en.walkAssign(st, env)
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var t taint
+				if i < len(vs.Values) {
+					t = en.evalExpr(vs.Values[i], env)
+				}
+				if v := en.localVar(name); v != nil {
+					en.setVar(env, v, t)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		en.evalExpr(st.X, env)
+	case *ast.IncDecStmt:
+		t := en.evalExpr(st.X, env)
+		if id, ok := st.X.(*ast.Ident); ok && t.tainted() {
+			if v := en.localVar(id); v != nil {
+				t.width = capWidth(int(t.width) + 1)
+				env[v] = t
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			en.walkStmt(st.Init, env)
+		}
+		en.evalExpr(st.Cond, env) // comparisons sanitize env in place
+		thenEnv := env.clone()
+		en.walkStmts(st.Body.List, thenEnv)
+		var elseEnv taintEnv
+		if st.Else != nil {
+			elseEnv = env.clone()
+			en.walkStmt(st.Else, elseEnv)
+		} else {
+			elseEnv = env.clone()
+		}
+		// phi: the continuation joins the branch outcomes, skipping branches
+		// that cannot fall through.
+		for k := range env {
+			delete(env, k)
+		}
+		if !blockTerminates(st.Body.List) {
+			env.join(thenEnv)
+		}
+		var elseList []ast.Stmt
+		if b, ok := st.Else.(*ast.BlockStmt); ok {
+			elseList = b.List
+		}
+		if st.Else == nil || !blockTerminates(elseList) {
+			env.join(elseEnv)
+		}
+	case *ast.BlockStmt:
+		en.walkStmts(st.List, env)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			en.walkStmt(st.Init, env)
+		}
+		en.loopFixpoint(env, func(e taintEnv) {
+			if st.Cond != nil {
+				en.evalExpr(st.Cond, e)
+			}
+			en.walkStmts(st.Body.List, e)
+			if st.Post != nil {
+				en.walkStmt(st.Post, e)
+			}
+		})
+	case *ast.RangeStmt:
+		xT := en.evalExpr(st.X, env)
+		en.loopFixpoint(env, func(e taintEnv) {
+			en.bindRangeVars(st, xT, e)
+			en.walkStmts(st.Body.List, e)
+		})
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			en.walkStmt(st.Init, env)
+		}
+		if st.Tag != nil {
+			en.evalExpr(st.Tag, env)
+		}
+		en.walkCases(st.Body, env)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			en.walkStmt(st.Init, env)
+		}
+		en.walkCases(st.Body, env)
+	case *ast.SelectStmt:
+		en.walkCases(st.Body, env)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			en.evalExpr(r, env)
+		}
+	case *ast.SendStmt:
+		en.evalExpr(st.Chan, env)
+		en.evalExpr(st.Value, env)
+	case *ast.DeferStmt:
+		en.evalExpr(st.Call, env)
+	case *ast.GoStmt:
+		// Argument expressions evaluate now; the spawned body is its own unit.
+		en.evalExpr(st.Call, env)
+	case *ast.LabeledStmt:
+		en.walkStmt(st.Stmt, env)
+	}
+}
+
+// loopFixpoint runs body twice over the progressively joined environment —
+// enough for a two-level lattice where one pass can only widen each variable
+// once per carried dependency — and leaves env at the post-loop join (the
+// loop may run zero times, so the pre-state survives).
+func (en *taintEngine) loopFixpoint(env taintEnv, body func(taintEnv)) {
+	work := env.clone()
+	for i := 0; i < 2; i++ {
+		body(work)
+		if !work.join(env) && i > 0 {
+			break
+		}
+	}
+	env.join(work)
+}
+
+// walkCases joins the per-clause outcomes of a switch/select body.
+func (en *taintEngine) walkCases(body *ast.BlockStmt, env taintEnv) {
+	out := env.clone()
+	for _, clause := range body.List {
+		caseEnv := env.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				en.evalExpr(e, caseEnv)
+			}
+			en.walkStmts(c.Body, caseEnv)
+			if !blockTerminates(c.Body) {
+				out.join(caseEnv)
+			}
+		case *ast.CommClause:
+			if c.Comm != nil {
+				en.walkStmt(c.Comm, caseEnv)
+			}
+			en.walkStmts(c.Body, caseEnv)
+			if !blockTerminates(c.Body) {
+				out.join(caseEnv)
+			}
+		}
+	}
+	for k := range env {
+		delete(env, k)
+	}
+	env.join(out)
+}
+
+// bindRangeVars assigns taint to a range statement's key/value variables:
+// iterating a []byte yields tainted 8-bit values when byte loads are
+// sources; everything else starts the iteration variables trusted.
+func (en *taintEngine) bindRangeVars(st *ast.RangeStmt, xT taint, env taintEnv) {
+	setIdent := func(e ast.Expr, t taint) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v := en.localVar(id); v != nil {
+			en.setVar(env, v, t)
+		}
+	}
+	if st.Key != nil {
+		setIdent(st.Key, taint{})
+	}
+	if st.Value != nil {
+		t := taint{}
+		if en.byteLoadSource && en.isByteSlice(st.X) {
+			t = taint{width: 8, origin: "byte loaded from " + exprString(st.X)}
+		}
+		setIdent(st.Value, t)
+	}
+}
+
+// blockTerminates reports whether a statement list cannot fall through to
+// the join point (it ends in return, panic, continue, break, or goto) — such
+// a branch contributes no facts to the phi.
+func blockTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkAssign interprets one assignment, including compound ops (x *= wire is
+// the same wrap hazard as x = x*wire).
+func (en *taintEngine) walkAssign(st *ast.AssignStmt, env taintEnv) {
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		// Compound assignment: one LHS, one RHS.
+		lT := en.evalExpr(st.Lhs[0], env)
+		rT := en.evalExpr(st.Rhs[0], env)
+		t := en.combineOp(compoundOp(st.Tok), st.Lhs[0], st.Rhs[0], lT, rT, st.TokPos, st.Lhs[0])
+		if id, ok := st.Lhs[0].(*ast.Ident); ok {
+			if v := en.localVar(id); v != nil {
+				en.setVar(env, v, t)
+			}
+		}
+		return
+	}
+
+	// Evaluate all RHS before binding (Go assignment semantics).
+	vals := make([]taint, 0, len(st.Rhs))
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value call / comma-ok: havoc already applied inside evalExpr;
+		// every result is untracked (width 0) unless the call is a source,
+		// in which case only a single-result source makes sense.
+		t := en.evalExpr(st.Rhs[0], env)
+		for range st.Lhs {
+			vals = append(vals, t)
+		}
+		// comma-ok and multi-result calls: the source width applies to the
+		// first (value) result only.
+		for i := 1; i < len(vals); i++ {
+			vals[i] = taint{}
+		}
+	} else {
+		for _, r := range st.Rhs {
+			vals = append(vals, en.evalExpr(r, env))
+		}
+	}
+	for i, l := range st.Lhs {
+		var t taint
+		if i < len(vals) {
+			t = vals[i]
+		}
+		switch lhs := l.(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			if v := en.localVar(lhs); v != nil {
+				en.setVar(env, v, t)
+			}
+		case *ast.IndexExpr:
+			// Store through an index: check the index as a sink; the element
+			// itself is untracked.
+			en.evalExpr(l, env)
+		default:
+			// Field/deref stores are untracked.
+		}
+	}
+}
+
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+// setVar records t for v, dropping untainted entries to keep envs small.
+func (en *taintEngine) setVar(env taintEnv, v *types.Var, t taint) {
+	if t.tainted() {
+		env[v] = t
+	} else {
+		delete(env, v)
+	}
+}
+
+// --- expression evaluation --------------------------------------------------
+
+// evalExpr computes the taint of e under env, firing sink callbacks for
+// dangerous uses and applying comparison sanitization to env in place.
+func (en *taintEngine) evalExpr(e ast.Expr, env taintEnv) taint {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		if v := en.localVar(ex); v != nil {
+			return env[v]
+		}
+		return taint{}
+	case *ast.BasicLit:
+		return taint{}
+	case *ast.ParenExpr:
+		return en.evalExpr(ex.X, env)
+	case *ast.BinaryExpr:
+		return en.evalBinary(ex, env)
+	case *ast.UnaryExpr:
+		t := en.evalExpr(ex.X, env)
+		switch ex.Op {
+		case token.XOR: // ^x has full-width magnitude
+			if t.tainted() {
+				t.width = 64
+			}
+		case token.SUB:
+			if t.tainted() {
+				t.width = capWidth(int(t.width) + 1)
+			}
+		case token.AND, token.ARROW, token.NOT:
+			return taint{}
+		}
+		return t
+	case *ast.CallExpr:
+		return en.evalCall(ex, env)
+	case *ast.IndexExpr:
+		xT := en.evalExpr(ex.X, env)
+		iT := en.evalExpr(ex.Index, env)
+		if iT.tainted() {
+			en.sink(taintSink{kind: sinkIndex, pos: ex.Index.Pos(), taint: iT})
+		}
+		if en.byteLoadSource && en.isByteSlice(ex.X) {
+			return taint{width: 8, origin: "byte loaded from " + exprString(ex.X)}
+		}
+		_ = xT
+		return taint{}
+	case *ast.SliceExpr:
+		en.evalExpr(ex.X, env)
+		for _, b := range []ast.Expr{ex.Low, ex.High, ex.Max} {
+			if b == nil {
+				continue
+			}
+			if t := en.evalExpr(b, env); t.tainted() {
+				en.sink(taintSink{kind: sinkSliceBound, pos: b.Pos(), taint: t})
+			}
+		}
+		return taint{}
+	case *ast.SelectorExpr:
+		// Field reads and qualified identifiers are untracked.
+		return taint{}
+	case *ast.StarExpr:
+		en.evalExpr(ex.X, env)
+		return taint{}
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				en.evalExpr(kv.Value, env)
+			} else {
+				en.evalExpr(el, env)
+			}
+		}
+		return taint{}
+	case *ast.TypeAssertExpr:
+		en.evalExpr(ex.X, env)
+		return taint{}
+	case *ast.FuncLit:
+		// Analyzed as its own unit by runUnit.
+		return taint{}
+	}
+	return taint{}
+}
+
+// evalBinary handles arithmetic width propagation, the multiplication wrap
+// sink, and comparison sanitization.
+func (en *taintEngine) evalBinary(ex *ast.BinaryExpr, env taintEnv) taint {
+	lT := en.evalExpr(ex.X, env)
+	rT := en.evalExpr(ex.Y, env)
+
+	switch ex.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		// An ordered comparison is the sanctioned bounds check: every local
+		// variable mentioned in either operand is trusted from here on. This
+		// is sound for the guard idiom (the offending branch returns) and is
+		// the rule's deliberate escape: compare before you use.
+		en.sanitizeMentioned(ex.X, env)
+		en.sanitizeMentioned(ex.Y, env)
+		return taint{}
+	case token.LAND, token.LOR, token.EQL, token.NEQ:
+		return taint{}
+	}
+	return en.combineOp(ex.Op, ex.X, ex.Y, lT, rT, ex.OpPos, ex)
+}
+
+// combineOp propagates taint widths through one arithmetic operation; the
+// same table serves binary expressions and compound assignments (x *= wire
+// is the same wrap hazard as x = x*wire). resultExpr supplies the static
+// result type for the wrap check (the whole expression for x*y, the LHS for
+// x *= y).
+func (en *taintEngine) combineOp(op token.Token, xExpr, yExpr ast.Expr, lT, rT taint, pos token.Pos, resultExpr ast.Expr) taint {
+	switch op {
+	case token.MUL:
+		lBits := int(lT.width)
+		if !lT.tainted() {
+			lBits = en.constBits(xExpr)
+		}
+		rBits := int(rT.width)
+		if !rT.tainted() {
+			rBits = en.constBits(yExpr)
+		}
+		t := maxTaint(lT, rT)
+		if t.tainted() {
+			if typ, ok := en.pass.Pkg.Info.Types[resultExpr]; ok {
+				bits := effectiveBits(typ.Type)
+				if lBits+rBits > bits {
+					en.sink(taintSink{kind: sinkMulWrap, pos: pos, taint: t, bits: bits, need: lBits + rBits})
+				}
+			}
+			t.width = capWidth(lBits + rBits)
+		}
+		return t
+	case token.ADD, token.SUB, token.OR, token.XOR:
+		t := maxTaint(lT, rT)
+		if t.tainted() {
+			t.width = capWidth(int(max8(lT.width, rT.width)) + 1)
+		}
+		return t
+	case token.AND, token.AND_NOT:
+		// Masking with a constant bounds the result by the mask.
+		t := maxTaint(lT, rT)
+		if !t.tainted() {
+			return taint{}
+		}
+		if cb := en.constBits(yExpr); cb > 0 && !rT.tainted() && op == token.AND {
+			t.width = capWidth(cb)
+		}
+		if cb := en.constBits(xExpr); cb > 0 && !lT.tainted() && op == token.AND {
+			t.width = capWidth(cb)
+		}
+		return t
+	case token.SHL:
+		t := maxTaint(lT, rT)
+		if t.tainted() {
+			t.width = 64
+		}
+		return t
+	case token.SHR, token.QUO:
+		// Shrinking operations keep the dividend's width (conservative).
+		return lT
+	case token.REM:
+		// x % trusted is bounded by the modulus — a sanctioned sanitizer.
+		if !rT.tainted() {
+			return taint{}
+		}
+		return maxTaint(lT, rT)
+	}
+	return maxTaint(lT, rT)
+}
+
+func max8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxTaint(a, b taint) taint {
+	if b.width > a.width {
+		return b
+	}
+	return a
+}
+
+// sanitizeMentioned untaints every tracked local mentioned anywhere in e.
+func (en *taintEngine) sanitizeMentioned(e ast.Expr, env taintEnv) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := en.localVar(id); v != nil {
+				delete(env, v)
+			}
+		}
+		return true
+	})
+}
+
+// evalCall handles conversions, builtins (make is a sink; min launders; len
+// and cap are trusted), registered sources and sanitizers, and the
+// conservative havoc for everything else.
+func (en *taintEngine) evalCall(call *ast.CallExpr, env taintEnv) taint {
+	info := en.pass.Pkg.Info
+
+	// Type conversion: propagate the operand's taint clamped to the target
+	// type's capacity.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		t := en.evalExpr(call.Args[0], env)
+		if t.tainted() {
+			if b := effectiveBits(tv.Type); int(t.width) > b {
+				t.width = capWidth(b)
+			}
+		}
+		return t
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return en.evalBuiltin(id.Name, call, env)
+		}
+	}
+
+	// Source?
+	if w, origin := en.source(call); w > 0 {
+		for _, a := range call.Args {
+			en.evalExpr(a, env)
+		}
+		return taint{width: w, origin: origin}
+	}
+
+	// Registered sanitizer?
+	if s, ok := en.sanitizers.lookup(en.calleeName(call)); ok {
+		for i, a := range call.Args {
+			en.evalExpr(a, env)
+			for _, idx := range s.untaintArgs {
+				if idx == i {
+					en.sanitizeMentioned(a, env)
+				}
+			}
+		}
+		if s.untaintResult {
+			return taint{}
+		}
+		return taint{}
+	}
+
+	// Unknown call: evaluate arguments (sinks inside them still fire), then
+	// havoc — locals passed by address lose their facts, results are
+	// untracked.
+	for _, a := range call.Args {
+		en.evalExpr(a, env)
+		if un, ok := a.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			en.sanitizeMentioned(un.X, env)
+		}
+	}
+	en.evalExpr(call.Fun, env)
+	return taint{}
+}
+
+// evalBuiltin interprets the builtins the engine models.
+func (en *taintEngine) evalBuiltin(name string, call *ast.CallExpr, env taintEnv) taint {
+	switch name {
+	case "make":
+		// make(T, len[, cap]): args[0] is the type.
+		for i := 1; i < len(call.Args); i++ {
+			t := en.evalExpr(call.Args[i], env)
+			if t.tainted() {
+				kind := sinkMakeLen
+				if i == 2 {
+					kind = sinkMakeCap
+				}
+				en.sink(taintSink{kind: kind, pos: call.Args[i].Pos(), taint: t})
+			}
+		}
+		return taint{}
+	case "min":
+		// min's result is bounded by its smallest operand: one trusted
+		// argument launders the result.
+		worst := taint{}
+		allTainted := true
+		for _, a := range call.Args {
+			t := en.evalExpr(a, env)
+			if !t.tainted() {
+				allTainted = false
+			}
+			worst = maxTaint(worst, t)
+		}
+		if allTainted {
+			return worst
+		}
+		return taint{}
+	case "max":
+		worst := taint{}
+		for _, a := range call.Args {
+			worst = maxTaint(worst, en.evalExpr(a, env))
+		}
+		return worst
+	case "len", "cap":
+		for _, a := range call.Args {
+			en.evalExpr(a, env)
+		}
+		return taint{}
+	case "append", "copy", "delete", "print", "println", "panic", "recover", "new", "clear":
+		for _, a := range call.Args {
+			en.evalExpr(a, env)
+		}
+		return taint{}
+	}
+	for _, a := range call.Args {
+		en.evalExpr(a, env)
+	}
+	return taint{}
+}
+
+// calleeName renders the qualified name of a call target for the sanitizer
+// registry: "pkgpath.Func" for package functions, "(pkgpath.Type).Method"
+// for methods, "builtin.name" for builtins.
+func (en *taintEngine) calleeName(call *ast.CallExpr) string {
+	info := en.pass.Pkg.Info
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.ObjectOf(fun).(*types.Func); ok {
+			if f.Pkg() != nil {
+				return f.Pkg().Path() + "." + f.Name()
+			}
+			return f.Name()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			recv := sel.Recv()
+			return "(" + typeString(recv) + ")." + fun.Sel.Name
+		}
+		if f, ok := info.ObjectOf(fun.Sel).(*types.Func); ok && f.Pkg() != nil {
+			return f.Pkg().Path() + "." + f.Name()
+		}
+	}
+	return ""
+}
+
+// isByteSlice reports whether e's static type is []byte (or a named type
+// whose underlying type is []byte).
+func (en *taintEngine) isByteSlice(e ast.Expr) bool {
+	tv, ok := en.pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Byte)
+}

@@ -12,8 +12,11 @@ import (
 // had not flushed" with no test able to notice; the registry is in scope
 // because a scrape that drops an exposition write error serves a silently
 // truncated /metrics page that still parses — monitoring reads wrong, small
-// counters as the truth.
-var errcritPkgs = []string{"journal", "transport", "center", "metrics"}
+// counters as the truth. traceio and packet joined in PR 8: a trace capture
+// whose Write/Flush error vanishes produces a short .dct file that replays as
+// a quieter network than the one measured, and packet's serialization path
+// feeds both of them.
+var errcritPkgs = []string{"journal", "transport", "center", "metrics", "traceio", "packet"}
 
 // errcritMethods are the write-path method names whose error result must not
 // be discarded inside the scoped packages: writes, syncs, deadline arming,
@@ -52,7 +55,7 @@ var errcritOsFuncs = map[string]bool{
 // a //dcslint:ignore errcrit comment stating why the error cannot lose data.
 var errcritRule = Rule{
 	Name: "errcrit",
-	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, WriteToUDP/Set*Buffer, os.Remove/Rename/... and their journal.FS method forms) in journal, transport, center, metrics",
+	Doc:  "no discarded error results from write-path calls (Write/Sync/Flush/Close/Set*Deadline/Truncate, WriteToUDP/Set*Buffer, os.Remove/Rename/... and their journal.FS method forms) in journal, transport, center, metrics, traceio, packet",
 	Run:  runErrcrit,
 }
 

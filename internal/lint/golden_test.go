@@ -61,4 +61,30 @@ func TestGoldenErrcrit(t *testing.T) {
 	// transport pins the UDP write-path coverage: datagram sends and
 	// socket-buffer sizing.
 	runGolden(t, "errcrit/transport", "errcrit")
+	// traceio and packet pin the PR 8 scope extension: trace capture and
+	// packet serialization write paths.
+	runGolden(t, "errcrit/traceio", "errcrit")
+	runGolden(t, "errcrit/packet", "errcrit")
+}
+
+func TestGoldenWiretaint(t *testing.T) {
+	// transport is in wiretaint's decode-surface scope and reintroduces the
+	// PR 6 groups*arrays overflow; other is the out-of-scope negative where
+	// the same shapes are silent.
+	runGolden(t, "wiretaint/transport", "wiretaint")
+	runGolden(t, "wiretaint/other", "wiretaint")
+}
+
+func TestGoldenMaporder(t *testing.T) {
+	// center is under the PR 4 determinism contract; other is the
+	// out-of-scope negative where unordered map consumption is fine.
+	runGolden(t, "maporder/center", "maporder")
+	runGolden(t, "maporder/other", "maporder")
+}
+
+func TestGoldenGorolifecycle(t *testing.T) {
+	// lib is library code where every go statement needs a join/stop path;
+	// cmd is the process-lifetime negative.
+	runGolden(t, "gorolifecycle/lib", "gorolifecycle")
+	runGolden(t, "gorolifecycle/cmd", "gorolifecycle")
 }

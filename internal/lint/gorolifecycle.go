@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// gorolifecycleRule: every `go` statement in library code must have a
+// tracked join or stop path — a sync.WaitGroup Done (the spawner joins), a
+// receive/select on a captured quit/ctx-done channel (the spawner stops it),
+// a range over a channel (closing the channel stops it), or a send on a
+// captured channel (the spawner drains it). A goroutine with none of these
+// is fire-and-forget: under the sharded-center refactor those accumulate
+// per-shard and per-connection until the process dies, and no test notices
+// until production does. Commands and examples own their process lifetime
+// and are out of scope.
+var gorolifecycleRule = Rule{
+	Name: "gorolifecycle",
+	Doc:  "every go statement in library packages needs a tracked join/stop path (WaitGroup Done, receive/select on a captured channel, range over a channel, a close, or a send the spawner drains)",
+	Run:  runGorolifecycle,
+}
+
+func runGorolifecycle(pass *Pass) {
+	// Library packages only: commands and examples are process-lifetime code.
+	if pass.PathHasSegment("cmd", "examples") || pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	// Map every function declared in this package to its body so `go f(...)`
+	// and `go recv.method(...)` resolve to an inspectable body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if f, ok := pass.Pkg.Info.ObjectOf(fd.Name).(*types.Func); ok {
+				decls[f] = fd
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, decls, gs)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) {
+	body, target := goTargetBody(pass, decls, gs.Call)
+	if body == nil {
+		// The body is out of reach (method value from another package, a
+		// function-typed variable, ...). The rule cannot prove a lifecycle
+		// either way; report so the author either inlines a literal, names a
+		// local function, or documents the lifecycle in a suppression.
+		pass.Reportf(gs.Pos(),
+			"go statement spawns %s, whose body this package cannot see; give the goroutine a visible join/stop path or document its lifecycle (//dcslint:ignore gorolifecycle <why>)", target)
+		return
+	}
+	if sig := lifecycleSignal(pass, body); sig == "" {
+		pass.Reportf(gs.Pos(),
+			"goroutine %s has no tracked join/stop path (no WaitGroup Done, no receive/select on a captured channel, no channel send/close/range); it outlives all control — add a quit channel or WaitGroup, or document why it terminates (//dcslint:ignore gorolifecycle <why>)", target)
+	}
+}
+
+// goTargetBody resolves the body of the function a go statement spawns:
+// a function literal, or a package-local function/method declaration.
+func goTargetBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, "function literal"
+	case *ast.Ident:
+		if f, ok := pass.Pkg.Info.ObjectOf(fun).(*types.Func); ok {
+			if fd := decls[f]; fd != nil {
+				return fd.Body, fun.Name
+			}
+			return nil, fun.Name
+		}
+		return nil, fun.Name
+	case *ast.SelectorExpr:
+		if f, ok := pass.Pkg.Info.ObjectOf(fun.Sel).(*types.Func); ok {
+			if fd := decls[f]; fd != nil {
+				return fd.Body, exprString(fun)
+			}
+			return nil, exprString(fun)
+		}
+		return nil, exprString(fun)
+	}
+	return nil, "expression"
+}
+
+// lifecycleSignal scans a goroutine body (including nested literals — a
+// deferred wg.Done closure still counts) for any accepted lifecycle
+// mechanism and names the first one found, or returns "".
+func lifecycleSignal(pass *Pass, body *ast.BlockStmt) string {
+	info := pass.Pkg.Info
+	signal := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if signal != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if selection, ok := info.Selections[sel]; ok && typeFromPackage(selection.Recv(), "sync") {
+					signal = "WaitGroup.Done"
+					return false
+				}
+				// ctx.Done() only matters if received from; the UnaryExpr /
+				// select cases below catch that.
+			}
+			// close(done) on a captured channel is a join signal: the
+			// spawner's <-done unblocks exactly when this body finishes.
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					signal = "channel close"
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				signal = "channel receive"
+				return false
+			}
+		case *ast.SendStmt:
+			signal = "channel send"
+			return false
+		case *ast.SelectStmt:
+			// A select with any comm clause is channel-coupled; an empty
+			// select{} blocks forever and is not a lifecycle.
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					signal = "select"
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					signal = "range over channel"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return signal
+}

@@ -64,6 +64,9 @@ func Rules() []Rule {
 		lockdisciplineRule,
 		atomicmixRule,
 		errcritRule,
+		wiretaintRule,
+		maporderRule,
+		gorolifecycleRule,
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
 	return rules

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderPkgs are the packages under the PR 4 determinism contract: their
+// outputs must be bit-identical at any worker count and across runs, and a
+// single `range` over a map feeding an ordered output is all it takes to
+// break that silently (map iteration order is deliberately randomized by the
+// runtime). center and experiments join the detector-math packages here
+// because WindowReports and experiment tables are the externally compared
+// artifacts.
+var maporderPkgs = []string{"aligned", "unaligned", "graph", "center", "stats", "experiments"}
+
+// maporderRule: inside the deterministic packages, a range over a map whose
+// body builds ordered output — appending to an outer slice, overwriting an
+// outer variable or field, or sending on a channel — is a finding, unless
+// the appended keys are materialized and sorted afterwards in the same
+// function, or the loop only performs order-insensitive reductions
+// (compound assignments, counters, map writes, self-referential updates).
+var maporderRule = Rule{
+	Name: "maporder",
+	Doc:  "no map iteration feeding ordered output (append/overwrite/send) in the deterministic packages unless the keys are sorted afterwards or the reduction is order-insensitive",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	if !pass.PathHasSegment(maporderPkgs...) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges finds every map-range in fn (including inside function
+// literals — a goroutine body iterating a map is just as nondeterministic)
+// and checks its body. fn is also the scope searched for the sorted-keys
+// exemption.
+func checkMapRanges(pass *Pass, fn *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rs)
+		return true
+	})
+}
+
+// checkMapRangeBody reports the order-sensitive operations in one map-range
+// body.
+func checkMapRangeBody(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	mapName := exprString(rs.X)
+
+	// outerObj resolves e's root identifier to an object declared outside
+	// the range statement (nil when the target is loop-local, blank, or
+	// unresolvable).
+	outerObj := func(e ast.Expr) types.Object {
+		root := rootIdent(e)
+		if root == nil || root.Name == "_" {
+			return nil
+		}
+		obj := info.ObjectOf(root)
+		if obj == nil {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // declared inside the loop: per-iteration state
+		}
+		return obj
+	}
+
+	// The walk carries the stack of enclosing if-conditions so a guarded
+	// extremum selection — `if oldest < 0 || e < oldest { oldest = e }` —
+	// can be recognized: an ordered comparison against the assignment target
+	// in the guard makes the loop a min/max reduction, which is
+	// order-insensitive when the compared quantity is unique per key (map
+	// keys themselves always are).
+	var walk func(n ast.Node, guards []ast.Expr)
+	walk = func(n ast.Node, guards []ast.Expr) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			if st.Init != nil {
+				walk(st.Init, guards)
+			}
+			inner := append(guards, st.Cond)
+			walk(st.Body, inner)
+			if st.Else != nil {
+				walk(st.Else, inner)
+			}
+			return
+		case *ast.SendStmt:
+			pass.Reportf(st.Arrow,
+				"send inside a range over map %s: delivery order follows randomized map iteration; materialize and sort the keys first, or make the consumer order-insensitive", mapName)
+			return
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fn, rs, st, mapName, outerObj, guards)
+			return
+		}
+		// Generic descent for every other node kind.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			switch child.(type) {
+			case *ast.IfStmt, *ast.SendStmt, *ast.AssignStmt:
+				walk(child, guards)
+				return false
+			}
+			return true
+		})
+	}
+	walk(rs.Body, nil)
+}
+
+// checkMapRangeAssign classifies one assignment inside a map-range body.
+// guards are the conditions of the if statements enclosing it within the
+// loop body.
+func checkMapRangeAssign(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, st *ast.AssignStmt, mapName string, outerObj func(ast.Expr) types.Object, guards []ast.Expr) {
+	// Compound assignments (+=, |=, ...) are reductions; every standard one
+	// on this tree is commutative over its operand stream. (String += is
+	// order-sensitive but also absent; the corpus pins the accepted set.)
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		obj := outerObj(lhs)
+		if obj == nil {
+			continue
+		}
+		// Map-index stores build another map — order-insensitive.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if tv, ok := pass.Pkg.Info.Types[ix.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+		}
+		var rhs ast.Expr
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		// x = append(x, ...) to an outer slice: ordered output — unless the
+		// slice is sorted later in the same function (the materialize-and-
+		// sort idiom this rule wants to push people toward).
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if sortedAfter(pass, fn, rs, obj) {
+				continue
+			}
+			pass.Reportf(st.Pos(),
+				"append to %s inside a range over map %s: element order follows randomized map iteration; sort %s afterwards or iterate sorted keys", exprString(lhs), mapName, exprString(lhs))
+			continue
+		}
+		// Self-referential plain assignment (x = max(x, v), sum = sum+v) is
+		// a reduction; overwriting an outer target with loop-derived data is
+		// last-writer-wins under random order.
+		if mentionsObj(pass, rhs, obj) {
+			continue
+		}
+		if !usesLoopVars(pass, rhs, rs) {
+			continue // loop-invariant store: same value every iteration
+		}
+		// Guarded extremum selection: an enclosing if compares the target in
+		// an ordered comparison (`if oldest < 0 || e < oldest { oldest = e }`)
+		// — a min/max reduction, order-insensitive over the unique map keys.
+		if guardComparesTarget(pass, guards, obj) {
+			continue
+		}
+		pass.Reportf(st.Pos(),
+			"overwrite of %s inside a range over map %s: last writer wins under randomized map iteration; sort the keys first or reduce order-insensitively", exprString(lhs), mapName)
+	}
+}
+
+// guardComparesTarget reports whether any enclosing guard condition contains
+// an ordered comparison with the assignment target as an operand side — the
+// shape that makes a plain overwrite a min/max selection.
+func guardComparesTarget(pass *Pass, guards []ast.Expr, obj types.Object) bool {
+	for _, g := range guards {
+		found := false
+		ast.Inspect(g, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || found {
+				return !found
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if mentionsObj(pass, be.X, obj) || mentionsObj(pass, be.Y, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps selectors, indexes, parens, and derefs to the base
+// identifier of an assignable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Pkg.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// mentionsObj reports whether e references obj anywhere.
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// usesLoopVars reports whether e mentions the range statement's key or value
+// variable (or any object declared inside the loop).
+func usesLoopVars(pass *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if obj := pass.Pkg.Info.ObjectOf(id); obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFuncs are the sort entry points that establish a total order over a
+// slice; appending map keys and then passing the slice through one of these
+// is the sanctioned materialize-and-sort idiom.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj (a slice) is passed as the first argument
+// of a sort call anywhere in fn after the range statement ends.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return !found
+		}
+		funcs, ok := sortFuncs[pn.Imported().Path()]
+		if !ok || !funcs[sel.Sel.Name] {
+			return !found
+		}
+		if mentionsObj(pass, call.Args[0], obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,6 +1,11 @@
 package lint
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // TestModuleIsClean runs every dcslint rule over the real dcstream module and
 // asserts zero unsuppressed findings — the same bar `make lint` enforces, so
@@ -29,4 +34,82 @@ func TestModuleIsClean(t *testing.T) {
 		total += len(findings)
 	}
 	t.Logf("checked %d packages, %d findings total (all suppressed)", len(pkgs), total)
+}
+
+// dcsBinaries are the entry points shipped from cmd/. The selftest pins them
+// by name so "the whole module is lint-clean" provably includes the binaries:
+// a loader regression that silently dropped cmd/ would otherwise keep this
+// suite green while `make lint` stopped seeing a sixth of the tree.
+var dcsBinaries = []string{"dcsbench", "dcsd", "dcslint", "dcsnode", "dcsreplay", "dcstrace"}
+
+// TestLoadModuleCoversWholeModule asserts LoadModule returns exactly the
+// package set a directory walk of the module finds — every cmd/ binary by
+// name, and no directory with non-test Go files missing. This is the
+// machine-checked form of "dcslint lints everything it claims to".
+func TestLoadModuleCoversWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := make(map[string]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		loaded[pkg.Path] = true
+	}
+	for _, bin := range dcsBinaries {
+		if !loaded["dcstream/cmd/"+bin] {
+			t.Errorf("LoadModule dropped cmd/%s; the binary is not being linted", bin)
+		}
+	}
+	// Independent ground truth: every directory under the module with at
+	// least one non-test .go file (minus the loader's documented exclusions)
+	// must appear in the load.
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		want := "dcstream"
+		if rel != "." {
+			want = "dcstream/" + filepath.ToSlash(rel)
+		}
+		if !loaded[want] {
+			t.Errorf("LoadModule dropped %s (%s has non-test Go files)", want, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LoadModule covers all %d packages incl. %d cmd binaries", len(pkgs), len(dcsBinaries))
 }

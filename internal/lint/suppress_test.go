@@ -99,3 +99,91 @@ func TestSuppressionMechanics(t *testing.T) {
 		}
 	}
 }
+
+// taintedBefore is a decode-scope file whose unchecked wire-sized make is
+// excused by a suppression; taintedAfter is the same file after the fix lands
+// (a bounds comparison sanitizes the length) with the suppression left
+// behind. The lifecycle contract: the moment the sanitizer makes the
+// suppression unnecessary, the leftover comment must flip from "used" to a
+// stale-suppression finding — suppressions cannot quietly outlive the code
+// they excused.
+const taintedBefore = `package transport
+
+import "encoding/binary"
+
+func decode(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	//dcslint:ignore wiretaint frame length is pre-validated by the caller
+	return make([]byte, n)
+}
+`
+
+const taintedAfter = `package transport
+
+import "encoding/binary"
+
+func decode(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	if n > 1<<20 {
+		return nil
+	}
+	//dcslint:ignore wiretaint frame length is pre-validated by the caller
+	return make([]byte, n)
+}
+`
+
+func TestSuppressionGoesStaleWhenSanitizerAdded(t *testing.T) {
+	load := func(src string) []Finding {
+		t.Helper()
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The "transport" segment puts the package in wiretaint's scope, as
+		// in the real module.
+		pkg, err := LoadDir(dir, "supp/transport")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunRules(pkg, Rules())
+	}
+
+	before := load(taintedBefore)
+	usedSuppression, staleBefore := false, false
+	for _, f := range before {
+		if f.Rule == "wiretaint" && f.Suppressed && f.SuppressReason == "frame length is pre-validated by the caller" {
+			usedSuppression = true
+		}
+		if f.Rule == "dcslint" && strings.Contains(f.Message, "stale suppression") {
+			staleBefore = true
+		}
+	}
+	if !usedSuppression {
+		t.Errorf("before the fix: expected a suppressed wiretaint finding, got %v", before)
+	}
+	if staleBefore {
+		t.Errorf("before the fix: suppression wrongly reported stale: %v", before)
+	}
+
+	after := load(taintedAfter)
+	var wiretaintAfter, staleAfter []Finding
+	for _, f := range after {
+		if f.Rule == "wiretaint" {
+			wiretaintAfter = append(wiretaintAfter, f)
+		}
+		if f.Rule == "dcslint" && strings.Contains(f.Message, "stale suppression") {
+			staleAfter = append(staleAfter, f)
+		}
+	}
+	if len(wiretaintAfter) != 0 {
+		t.Errorf("after the fix: bounds check should sanitize the make, got %v", wiretaintAfter)
+	}
+	if len(staleAfter) != 1 {
+		t.Errorf("after the fix: want exactly one stale-suppression finding, got %v", after)
+	}
+	// And the stale finding must fail the build: stale comments are not
+	// suppressible noise.
+	if len(staleAfter) == 1 && staleAfter[0].Suppressed {
+		t.Errorf("stale-suppression finding was itself suppressed: %s", staleAfter[0])
+	}
+}

@@ -1,0 +1,35 @@
+// Package packet exercises the errcrit rule's serialization coverage (the
+// "packet" path segment entered scope in PR 8): packet marshalling feeds both
+// the trace writer and the wire transport, so a dropped Write or WriteTo
+// error here corrupts everything downstream while every checksum still
+// matches what was actually (not what should have been) written.
+package packet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// discards drops serialization errors.
+func discards(dst io.Writer, buf *bytes.Buffer, payload []byte) {
+	dst.Write(payload) // want `errcrit: error from dst\.Write discarded`
+	buf.WriteTo(dst)   // want `errcrit: error from buf\.WriteTo discarded`
+}
+
+// checked is the approved shape.
+func checked(dst io.Writer, payload []byte) error {
+	if _, err := dst.Write(payload); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	return nil
+}
+
+// buffered shows the deliberate carve-out everyone relies on: bytes.Buffer
+// writes cannot fail, and the rule still flags them uniformly, so the
+// documented suppression is the contract.
+func buffered(buf *bytes.Buffer, payload []byte) []byte {
+	//dcslint:ignore errcrit bytes.Buffer.Write always returns a nil error by contract
+	buf.Write(payload)
+	return buf.Bytes()
+}

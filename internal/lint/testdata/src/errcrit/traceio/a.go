@@ -1,0 +1,41 @@
+// Package traceio exercises the errcrit rule's trace-capture coverage (the
+// "traceio" path segment entered scope in PR 8): a capture writer that drops
+// a Write, Flush, or Close error produces a short .dct file that replays as a
+// quieter network than the one measured — the experiment silently compares
+// against truncated ground truth.
+package traceio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// discards throws away every stage of the capture write path.
+func discards(f *os.File, w *bufio.Writer, frame []byte) {
+	w.Write(frame)     // want `errcrit: error from w\.Write discarded`
+	_ = w.Flush()      // want `errcrit: error from w\.Flush assigned to _`
+	f.Sync()           // want `errcrit: error from f\.Sync discarded`
+	defer f.Close()    // want `errcrit: error from f\.Close discarded by defer`
+	os.Remove("x.dct") // want `errcrit: error from os\.Remove discarded`
+}
+
+// checked is the approved shape: the capture surfaces every failure.
+func checked(f *os.File, w *bufio.Writer, frame []byte) error {
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("frame: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return f.Close()
+}
+
+// besteffort demonstrates the documented escape hatch.
+func besteffort(f *os.File) {
+	//dcslint:ignore errcrit golden-corpus demo: read-only handle, close cannot lose data
+	_ = f.Close()
+}

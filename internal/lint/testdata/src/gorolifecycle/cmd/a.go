@@ -1,0 +1,15 @@
+// Package main is the gorolifecycle out-of-scope negative: the "cmd" path
+// segment (and package main) mark process-lifetime code, where a detached
+// goroutine dies with the process by construction.
+package main
+
+import "time"
+
+func main() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+}

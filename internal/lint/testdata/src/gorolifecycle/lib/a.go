@@ -1,0 +1,115 @@
+// Package lib is the gorolifecycle golden corpus: a library package (no cmd
+// or examples segment, not package main), so every go statement needs a
+// visible join/stop path.
+package lib
+
+import (
+	"sync"
+	"time"
+)
+
+// fireAndForget never joins, never stops: the canonical leak.
+func fireAndForget() {
+	go func() { // want `gorolifecycle: goroutine function literal has no tracked join/stop path`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// waitGroupJoined: the spawner can Wait for it.
+func waitGroupJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// quitChannelStopped: select on a captured quit channel.
+func quitChannelStopped(quit <-chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// rangeOverChannel terminates when the spawner closes jobs.
+func rangeOverChannel(jobs <-chan int, handle func(int)) {
+	go func() {
+		for j := range jobs {
+			handle(j)
+		}
+	}()
+}
+
+// closeSignalsDone: close(done) is a join signal the spawner blocks on.
+func closeSignalsDone() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(time.Millisecond)
+	}()
+	<-done
+}
+
+// sendDrained: the spawner receives the result, coupling the lifetimes.
+func sendDrained() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+type worker struct {
+	quit chan struct{}
+}
+
+// loop has a stop path, so spawning it as a method is fine.
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+func (w *worker) start() {
+	go w.loop()
+}
+
+// spin has no stop path; spawning it is a finding at the go statement.
+func spin() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+func spawnSpin() {
+	go spin() // want `gorolifecycle: goroutine spin has no tracked join/stop path`
+}
+
+// opaqueTarget: the body is out of reach (function-typed parameter), so the
+// rule asks for a visible lifecycle or a documented suppression.
+func opaqueTarget(f func()) {
+	go f() // want `gorolifecycle: go statement spawns f, whose body this package cannot see`
+}
+
+// suppressedDetached: documented fire-and-forget.
+func suppressedDetached() {
+	//dcslint:ignore gorolifecycle best-effort telemetry flush; process exit is its only stop and that is acceptable
+	go func() {
+		for {
+			time.Sleep(time.Minute)
+		}
+	}()
+}

@@ -1,0 +1,124 @@
+// Package center is the maporder golden corpus: the "center" path segment
+// puts it under the PR 4 determinism contract, so map ranges feeding ordered
+// output must fire while the sanctioned reductions stay silent.
+package center
+
+import "sort"
+
+// appendUnsorted: element order follows randomized map iteration.
+func appendUnsorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k) // want `maporder: append to keys inside a range over map counts`
+	}
+	return keys
+}
+
+// appendThenSort is the sanctioned materialize-and-sort idiom.
+func appendThenSort(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice: sort.Slice with the slice as first argument also
+// counts.
+func appendThenSortSlice(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sendInRange: delivery order is randomized.
+func sendInRange(counts map[string]int, out chan<- string) {
+	for k := range counts {
+		out <- k // want `maporder: send inside a range over map counts`
+	}
+}
+
+// overwriteLastWriterWins: whichever key iterates last silently wins.
+func overwriteLastWriterWins(byID map[uint64]string) string {
+	var chosen string
+	for _, name := range byID {
+		chosen = name // want `maporder: overwrite of chosen inside a range over map byID`
+	}
+	return chosen
+}
+
+// guardedExtremum is the min-selection idiom the tree uses (oldest epoch,
+// coldest shard): the guard's ordered comparison against the target makes it
+// an order-insensitive reduction over the unique keys.
+func guardedExtremum(lastSeen map[uint64]int64) int64 {
+	oldest := int64(-1)
+	for _, e := range lastSeen {
+		if oldest < 0 || e < oldest {
+			oldest = e
+		}
+	}
+	return oldest
+}
+
+// compoundReduction: += over the values is commutative.
+func compoundReduction(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// selfReferentialReduction: sum = sum + v mentions its own target.
+func selfReferentialReduction(counts map[string]int) int {
+	sum := 0
+	for _, v := range counts {
+		sum = sum + v
+	}
+	return sum
+}
+
+// mapToMapCopy: building another map is order-insensitive.
+func mapToMapCopy(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// loopInvariantStore: the same value is written every iteration.
+func loopInvariantStore(counts map[string]int) bool {
+	nonEmpty := false
+	for range counts {
+		nonEmpty = true
+	}
+	return nonEmpty
+}
+
+// insideGoroutine: a map range in a spawned literal is just as random.
+func insideGoroutine(counts map[string]int, done chan struct{}) []string {
+	var keys []string
+	go func() {
+		for k := range counts {
+			keys = append(keys, k) // want `maporder: append to keys inside a range over map counts`
+		}
+		close(done)
+	}()
+	<-done
+	return keys
+}
+
+// suppressedAppend: the escape hatch with a reason.
+func suppressedAppend(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		//dcslint:ignore maporder consumer deduplicates into a set; order is irrelevant here
+		keys = append(keys, k)
+	}
+	return keys
+}

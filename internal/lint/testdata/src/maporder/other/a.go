@@ -1,0 +1,13 @@
+// Package other is the maporder out-of-scope negative: no deterministic
+// package segment in the import path, so unordered map consumption is fine —
+// diagnostics, ad-hoc tooling, and caches are allowed to be order-sloppy.
+package other
+
+// appendUnsorted would be a finding inside the determinism contract.
+func appendUnsorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	return keys
+}

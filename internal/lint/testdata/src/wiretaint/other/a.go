@@ -1,0 +1,21 @@
+// Package other is the wiretaint out-of-scope negative: its import path has
+// no decode-surface segment (transport/journal/packet/traceio), so the same
+// source-to-sink shapes that fire in the transport corpus are silent here —
+// the rule is about hostile input boundaries, not arithmetic style.
+package other
+
+import "encoding/binary"
+
+// allocBeforeCheck would be a finding inside a decode package; here the bytes
+// are assumed to come from our own encoder.
+func allocBeforeCheck(buf []byte) []byte {
+	length := binary.LittleEndian.Uint32(buf[5:])
+	return make([]byte, length)
+}
+
+// narrowProduct would be a mul-wrap finding in scope.
+func narrowProduct(buf []byte) int {
+	g := int(binary.LittleEndian.Uint32(buf))
+	a := int(binary.LittleEndian.Uint32(buf[4:]))
+	return g * a
+}

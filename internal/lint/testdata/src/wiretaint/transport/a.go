@@ -1,0 +1,159 @@
+// Package transport is the wiretaint golden corpus: its import path carries
+// the "transport" segment, so the rule treats it exactly like the real wire
+// codecs. Each function pins one engine behaviour; decodeUnalignedPR6
+// reintroduces the exact overflow PR 6 fixed in the tree, so the rule can
+// never regress below "catches the bug we actually shipped".
+package transport
+
+import "encoding/binary"
+
+const (
+	maxFrame           = 64 << 20
+	maxGeometryVectors = 1 << 24
+)
+
+// decodeUnalignedPR6 is the pre-PR6 decodeUnaligned shape: both dimensions
+// come straight off the wire, the product is taken in int (32+32 bits needs
+// 64, int holds 63 — it can wrap past the guard), and the allocation happens
+// before any bounds comparison.
+func decodeUnalignedPR6(buf []byte) [][]uint64 {
+	groups := int(binary.LittleEndian.Uint32(buf[8:]))
+	arrays := int(binary.LittleEndian.Uint32(buf[12:]))
+	rows := make([][]uint64, groups)        // want `wiretaint: unchecked 32-bit wire read \(binary\.LittleEndian\.Uint32\) sizes a make`
+	if groups*arrays > maxGeometryVectors { // want `wiretaint: multiplication of unchecked 32-bit wire read \(binary\.LittleEndian\.Uint32\) can wrap: operands span 64 bits but the result type holds 63`
+		return nil
+	}
+	return rows
+}
+
+// decodeUnalignedFixed is the shipped fix: dimensions are bounded before any
+// multiplication, and the product is taken in uint64 where 32+32 bits fit.
+func decodeUnalignedFixed(buf []byte) [][]uint64 {
+	g64 := uint64(binary.LittleEndian.Uint32(buf[8:]))
+	a64 := uint64(binary.LittleEndian.Uint32(buf[12:]))
+	if g64 > 1<<20 || a64 > 1<<20 || g64*a64 > maxGeometryVectors {
+		return nil
+	}
+	return make([][]uint64, int(g64))
+}
+
+// wideProductIsSafe: multiplying two 32-bit wire reads in uint64 cannot wrap
+// (64 bits of magnitude in a 64-bit type), so only the make is a finding.
+func wideProductIsSafe(buf []byte) []byte {
+	g := uint64(binary.LittleEndian.Uint32(buf))
+	a := uint64(binary.LittleEndian.Uint32(buf[4:]))
+	return make([]byte, g*a) // want `wiretaint: unchecked 32-bit wire read \(binary\.LittleEndian\.Uint32\) sizes a make`
+}
+
+// allocBeforeCheck is the canonical source-to-sink path: the length is used
+// before the comparison that would have sanitized it.
+func allocBeforeCheck(buf []byte) []byte {
+	length := binary.LittleEndian.Uint32(buf[5:])
+	out := make([]byte, length) // want `wiretaint: unchecked 32-bit wire read \(binary\.LittleEndian\.Uint32\) sizes a make`
+	if length > maxFrame {
+		return nil
+	}
+	return out
+}
+
+// allocAfterCheck is the sanctioned idiom: the ordered comparison launders
+// the value, whichever branch the check takes.
+func allocAfterCheck(buf []byte) []byte {
+	length := binary.LittleEndian.Uint32(buf[5:])
+	if length > maxFrame {
+		return nil
+	}
+	return make([]byte, length)
+}
+
+// taintFlowsThroughArithmetic: conversions and additions keep the taint, so
+// the derived offset is still hostile at the slice expression.
+func taintFlowsThroughArithmetic(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(buf[6:]))
+	end := n + 13
+	return buf[:end] // want `wiretaint: unchecked 16-bit wire read \(binary\.LittleEndian\.Uint16\) used as a slice bound`
+}
+
+// taintedIndex: a wire byte picking an offset is a finding; the same load
+// after a bounds comparison is not.
+func taintedIndex(buf []byte) (byte, byte) {
+	off := int(buf[0])
+	a := buf[off] // want `wiretaint: unchecked byte loaded from buf used as a slice index`
+	off2 := int(buf[1])
+	if off2 >= len(buf) {
+		return a, 0
+	}
+	return a, buf[off2]
+}
+
+// minLaunders: the builtin min against a trusted limit bounds the result, so
+// the allocation is safe without an explicit comparison.
+func minLaunders(buf []byte) []uint64 {
+	n := int(binary.LittleEndian.Uint32(buf))
+	return make([]uint64, min(n, 1024))
+}
+
+// phiJoin: a value tainted on either arm of a branch is tainted at the join.
+func phiJoin(buf []byte, fancy bool) []byte {
+	n := 16
+	if fancy {
+		n = int(binary.LittleEndian.Uint32(buf))
+	}
+	return make([]byte, n) // want `wiretaint: unchecked 32-bit wire read \(binary\.LittleEndian\.Uint32\) sizes a make`
+}
+
+// loopCarried: taint survives a loop-carried assignment (the fixpoint pass
+// sees total pick up n's width on the second iteration).
+func loopCarried(buf []byte) []byte {
+	total := 0
+	for i := 0; i < 4; i++ {
+		n := int(binary.LittleEndian.Uint16(buf[i*2:]))
+		total = total + n
+	}
+	return make([]byte, total) // want `wiretaint: unchecked 16-bit wire read \(binary\.LittleEndian\.Uint16\) sizes a make`
+}
+
+// havocAtCall: the engine does not track values through calls — clamp's
+// result is trusted (the callee is responsible for its own contract). This
+// pins the deliberate false negative; register a sanitizer entry instead of
+// relying on it.
+func havocAtCall(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(buf))
+	m := clamp(n)
+	return make([]byte, m)
+}
+
+func clamp(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
+// compoundWrap: x *= wire is the same wrap hazard as x = x*wire.
+func compoundWrap(buf []byte) int {
+	n := int(binary.LittleEndian.Uint32(buf))
+	n *= int(binary.LittleEndian.Uint32(buf[4:])) // want `wiretaint: multiplication of unchecked 32-bit wire read \(binary\.LittleEndian\.Uint32\) can wrap`
+	return n
+}
+
+// suppressed: the escape hatch works and demands a reason.
+func suppressed(buf []byte) []byte {
+	n := binary.LittleEndian.Uint16(buf)
+	//dcslint:ignore wiretaint uint16 tops out at 64 KiB, an acceptable bound for this scratch buffer
+	return make([]byte, n)
+}
+
+// remSanitizes: modulo by a trusted bound launders the value.
+func remSanitizes(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint64(buf))
+	return make([]byte, n%4096)
+}
+
+// maskNarrows: masking with a small constant bounds the magnitude but the
+// value is still attacker-chosen — fine for a make of bounded size; the
+// width still trips the index sink.
+func maskNarrows(buf []byte) []byte {
+	n := binary.LittleEndian.Uint64(buf) & 0xFF
+	return make([]byte, n) // want `wiretaint: unchecked 64-bit wire read \(binary\.LittleEndian\.Uint64\) sizes a make`
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// wiretaintPkgs scopes the rule to the packages that parse attacker-reachable
+// bytes: the TCP/UDP wire codecs, the journal's segment recovery scanner, the
+// packet model, and the trace reader. Everything a center ingests arrives
+// through one of these decode surfaces, and PR 6's decodeUnaligned overflow
+// (a 16-byte hostile frame driving a gigabyte allocation through an
+// unchecked groups*arrays product) is the class this rule exists to make
+// unwritable.
+var wiretaintPkgs = []string{"transport", "journal", "packet", "traceio"}
+
+// wiretaintRule: integers read from wire or disk bytes are tainted until an
+// explicit ordered bounds comparison (or a registered sanitizer) launders
+// them; a tainted value sizing a make, indexing a slice, bounding a slice
+// expression, or feeding a multiplication that can wrap its type is a
+// finding. Runs on the dataflow engine in dataflow.go.
+var wiretaintRule = Rule{
+	Name: "wiretaint",
+	Doc:  "wire/disk-derived integers must pass a bounds comparison before sizing allocations, indexing, or multiplying in a wrappable type (transport, journal, packet, traceio)",
+	Run:  runWiretaint,
+}
+
+// wiretaintSanitizers is the rule's sanitizer registry. Ordered comparisons
+// are built into the engine; entries here bless named validation helpers so
+// future decode code can centralize its bounds checks without fighting the
+// rule. (Project helpers register here as they appear.)
+var wiretaintSanitizers = NewSanitizerRegistry()
+
+// binaryReadWidths maps encoding/binary ByteOrder getters to the width of
+// the attacker-controlled value they produce.
+var binaryReadWidths = map[string]uint8{
+	"Uint16": 16,
+	"Uint32": 32,
+	"Uint64": 64,
+}
+
+func runWiretaint(pass *Pass) {
+	if !pass.PathHasSegment(wiretaintPkgs...) {
+		return
+	}
+	en := &taintEngine{
+		pass:           pass,
+		byteLoadSource: true,
+		sanitizers:     wiretaintSanitizers,
+		source: func(call *ast.CallExpr) (uint8, string) {
+			return wiretaintSource(pass, call)
+		},
+		sink: func(s taintSink) {
+			reportWiretaintSink(pass, s)
+		},
+	}
+	en.run()
+}
+
+// wiretaintSource classifies binary.BigEndian/LittleEndian Uint* calls (and
+// any binary.ByteOrder method value) as taint sources.
+func wiretaintSource(pass *Pass, call *ast.CallExpr) (uint8, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, ""
+	}
+	w, ok := binaryReadWidths[sel.Sel.Name]
+	if !ok {
+		return 0, ""
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return 0, ""
+	}
+	recv := selection.Recv()
+	if !typeFromPackage(recv, "encoding/binary") {
+		return 0, ""
+	}
+	return w, fmt.Sprintf("%d-bit wire read (%s.%s)", w, exprString(sel.X), sel.Sel.Name)
+}
+
+// typeFromPackage reports whether t (or its pointee) is declared in pkgPath.
+func typeFromPackage(t types.Type, pkgPath string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func reportWiretaintSink(pass *Pass, s taintSink) {
+	const hint = "bounds-compare it first (or route it through a registered sanitizer)"
+	switch s.kind {
+	case sinkMakeLen:
+		pass.Reportf(s.pos,
+			"unchecked %s sizes a make; a hostile frame picks the allocation — %s", s.taint.origin, hint)
+	case sinkMakeCap:
+		pass.Reportf(s.pos,
+			"unchecked %s sets a make capacity; a hostile frame picks the allocation — %s", s.taint.origin, hint)
+	case sinkIndex:
+		pass.Reportf(s.pos,
+			"unchecked %s used as a slice index; a hostile frame picks the offset — %s", s.taint.origin, hint)
+	case sinkSliceBound:
+		pass.Reportf(s.pos,
+			"unchecked %s used as a slice bound; a hostile frame picks the cut — %s", s.taint.origin, hint)
+	case sinkMulWrap:
+		pass.Reportf(s.pos,
+			"multiplication of unchecked %s can wrap: operands span %d bits but the result type holds %d; widen to uint64 or bound the factors first",
+			s.taint.origin, s.need, s.bits)
+	}
+}
