@@ -3,7 +3,7 @@ FUZZTIME ?= 30s
 BENCH_LABEL ?= local
 BENCH_SCALE ?= default
 
-.PHONY: build test lint verify bench bench-json bench-udp-json chaos fuzz-smoke clean
+.PHONY: build test lint verify bench bench-json bench-udp-json bench-streaming-json chaos fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,14 @@ bench-udp-json:
 bench-shed-json:
 	$(GO) run ./cmd/dcsbench -exp shed -scale $(BENCH_SCALE) -json -label shed > BENCH_shed.json
 
+# Incremental-analysis baseline: per-Analyze finalize latency, batch vs
+# incremental, on the same digest stream, committed as BENCH_streaming.json.
+# The run itself enforces the equivalence contract — it fails if the two
+# modes' reports are not bit-identical — so the committed speedup is always
+# a speedup of the same computation.
+bench-streaming-json:
+	$(GO) run ./cmd/dcsbench -exp streaming -scale $(BENCH_SCALE) -json -label streaming > BENCH_streaming.json
+
 # Fault-injection tier: the chaos-proxy integration tests (crash recovery
 # through a corrupting link, lossy-UDP degraded-never-wrong, quorum under
 # partition, eventual delivery and CRC integrity) plus the journal,
@@ -69,8 +77,11 @@ bench-shed-json:
 # flood+disk-full+garbage scenario (TestChaosOverloadDegradedNeverWrong),
 # with the /healthz degradation surface checked in cmd/dcsd. All chaos
 # schedules are seeded in the tests themselves, so the run is reproducible.
+# The streaming tier rides here as well: incremental-vs-batch equivalence
+# under dup/late/tombstone churn at several worker counts, the sliding-window
+# straddle detection, and the accumulator memory-budget ledger.
 chaos:
-	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape|Degraded|Shed|Gate|Quarantin|ShortWrite|Rollback|Budget|Healthz|Overload' \
+	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape|Degraded|Shed|Gate|Quarantin|ShortWrite|Rollback|Budget|Healthz|Overload|Incremental|Sliding' \
 		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/... ./cmd/dcsd/...
 
 # Short fuzz of the crash/byte-level decoders: the transport wire reader, the

@@ -142,6 +142,13 @@ var runners = []runner{
 			return experiments.RunShed(experiments.ShedParamsFor(seed, s))
 		})
 	}},
+	{"streaming", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.StreamingResult, error) {
+			p := experiments.StreamingParamsFor(seed, s)
+			p.Workers = workers
+			return experiments.RunStreaming(p)
+		})
+	}},
 }
 
 // benchRecord is the -json document. Millis values are wall time and thus

@@ -27,10 +27,26 @@ type epochEvent struct {
 	RejectedDigests int             `json:"rejected_digests,omitempty"`
 	Aligned         *alignedEvent   `json:"aligned,omitempty"`
 	Unaligned       *unalignedEvent `json:"unaligned,omitempty"`
+	// SpanStart/SpanEpochs/RetiredEpochs describe the analysis span under
+	// -slide: the report covers [span_start, epoch] and the retired epochs'
+	// buffered state was released with it. Without -slide all three collapse
+	// to the event's own epoch.
+	SpanStart     int   `json:"span_start"`
+	SpanEpochs    []int `json:"span_epochs,omitempty"`
+	RetiredEpochs []int `json:"retired_epochs,omitempty"`
 	// WallMS is the wall-clock analysis latency for this window in
 	// milliseconds (ingest buffering time excluded — that lives in the
 	// dcs_center_ingest_to_analyze_seconds histogram).
 	WallMS float64 `json:"wall_ms"`
+	// Running latency quantiles (milliseconds), interpolated from the
+	// center's histograms at emit time: ingest_to_analyze is first-digest to
+	// report, finalize is the analyze-path cost alone — the number the
+	// incremental mode drives down. Omitted when the center's stats are not
+	// attached (tests).
+	IngestToAnalyzeP50MS float64 `json:"ingest_to_analyze_p50_ms,omitempty"`
+	IngestToAnalyzeP99MS float64 `json:"ingest_to_analyze_p99_ms,omitempty"`
+	FinalizeP50MS        float64 `json:"finalize_p50_ms,omitempty"`
+	FinalizeP99MS        float64 `json:"finalize_p99_ms,omitempty"`
 }
 
 type alignedEvent struct {
@@ -52,10 +68,15 @@ type unalignedEvent struct {
 // concurrent use; each event is a single Encode call, so lines never
 // interleave.
 type eventLog struct {
-	mu  sync.Mutex
-	enc *json.Encoder // guarded by mu
-	c   io.Closer     // nil when the sink needs no close (stdout, tests)
+	mu    sync.Mutex
+	enc   *json.Encoder // guarded by mu
+	c     io.Closer     // nil when the sink needs no close (stdout, tests)
+	stats *center.Stats // latency histograms for the quantile fields; may be nil
 }
+
+// attachStats wires the center's histograms into every subsequent event so
+// each line carries the running p50/p99 latencies.
+func (l *eventLog) attachStats(s *center.Stats) { l.stats = s }
 
 // openEventLog opens the -events sink: "-" selects stdout, anything else is
 // opened (created if needed) in append mode so restarts extend the log.
@@ -83,7 +104,16 @@ func (l *eventLog) emit(rep center.WindowReport, wall time.Duration) error {
 		Shed:            rep.Shed,
 		ShedDigests:     rep.ShedDigests,
 		RejectedDigests: rep.RejectedDigests,
+		SpanStart:       rep.SpanStart,
+		SpanEpochs:      rep.SpanEpochs,
+		RetiredEpochs:   rep.RetiredEpochs,
 		WallMS:          float64(wall.Microseconds()) / 1e3,
+	}
+	if l.stats != nil {
+		ev.IngestToAnalyzeP50MS = l.stats.IngestToAnalyzeSeconds.Quantile(0.5) * 1e3
+		ev.IngestToAnalyzeP99MS = l.stats.IngestToAnalyzeSeconds.Quantile(0.99) * 1e3
+		ev.FinalizeP50MS = l.stats.FinalizeSeconds.Quantile(0.5) * 1e3
+		ev.FinalizeP99MS = l.stats.FinalizeSeconds.Quantile(0.99) * 1e3
 	}
 	if a := rep.Aligned; a != nil {
 		ev.Aligned = &alignedEvent{

@@ -24,6 +24,7 @@ func TestEventLogEmit(t *testing.T) {
 
 	var buf bytes.Buffer
 	ev := newEventLog(&buf)
+	ev.attachStats(c.Stats())
 	if err := ev.emit(rep, 1500*time.Microsecond); err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +44,19 @@ func TestEventLogEmit(t *testing.T) {
 	}
 	if got.WallMS != 1.5 {
 		t.Fatalf("wall_ms = %v, want 1.5", got.WallMS)
+	}
+	if got.SpanStart != 2 || len(got.SpanEpochs) != 1 || got.SpanEpochs[0] != 2 ||
+		len(got.RetiredEpochs) != 1 || got.RetiredEpochs[0] != 2 {
+		t.Fatalf("span fields = start %d epochs %v retired %v, want all epoch 2",
+			got.SpanStart, got.SpanEpochs, got.RetiredEpochs)
+	}
+	// One analysis has run, so the attached histograms must yield nonzero
+	// running quantiles on every event.
+	if got.IngestToAnalyzeP50MS <= 0 || got.IngestToAnalyzeP99MS < got.IngestToAnalyzeP50MS {
+		t.Fatalf("ingest-to-analyze quantiles p50=%v p99=%v", got.IngestToAnalyzeP50MS, got.IngestToAnalyzeP99MS)
+	}
+	if got.FinalizeP50MS <= 0 || got.FinalizeP99MS < got.FinalizeP50MS {
+		t.Fatalf("finalize quantiles p50=%v p99=%v", got.FinalizeP50MS, got.FinalizeP99MS)
 	}
 	// The log is JSONL: exactly one newline-terminated line per event.
 	if lines := strings.Count(buf.String(), "\n"); lines != 1 {

@@ -104,7 +104,7 @@ func TestHTTPEndpoints(t *testing.T) {
 func TestHealthzReportsDegradation(t *testing.T) {
 	// A two-digest budget (each 256-bit digest costs 144 accounted bytes)
 	// sheds epoch 1 when epoch 2 fills.
-	c := center.New(center.Config{MemoryBudgetBytes: 300, MaxEpochs: 8})
+	c := center.New(center.Config{Analysis: center.AnalysisBatch, MemoryBudgetBytes: 300, MaxEpochs: 8})
 	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: testBitmap(1)})
 	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 2, Bitmap: testBitmap(2)})
 	c.Ingest(transport.AlignedDigest{RouterID: 2, Epoch: 2, Bitmap: testBitmap(3)})

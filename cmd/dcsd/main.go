@@ -42,6 +42,17 @@
 // counted, and the journal re-arms itself when the disk recovers. Every
 // degradation is visible in /healthz, /metrics, the -events stream, and the
 // log.
+//
+// Streaming analysis: by default (-analysis incremental) the center maintains
+// each window's analysis state as digests arrive, so closing an epoch is a
+// cheap finalize rather than a full rebuild; -analysis batch restores the
+// reference rebuild-at-analyze behaviour (reports are bit-identical either
+// way). With -slide W (W >= 2) each analysis covers an overlapping span of W
+// consecutive epochs, so common content split across an epoch boundary still
+// meets itself inside some span; an epoch's buffered state (and its journal
+// frames) is retired only once it has left every future span. Every -events
+// line carries the span (span_start/span_epochs/retired_epochs) and the
+// running p50/p99 of the ingest-to-analyze and finalize latency histograms.
 package main
 
 import (
@@ -110,8 +121,17 @@ func finish(jr *journal.Journal, ev *eventLog, rep center.WindowReport, wall tim
 		}
 	}
 	if jr != nil {
-		if err := jr.EpochAnalyzed(rep.Epoch); err != nil {
-			log.Printf("journal: marking epoch %d analyzed: %v", rep.Epoch, err)
+		// Only retired epochs may forget their journal frames: under -slide a
+		// report's own epoch stays buffered for the next overlapping span, and
+		// purging it would lose those digests across a crash.
+		retired := rep.RetiredEpochs
+		if len(retired) == 0 {
+			retired = []int{rep.Epoch}
+		}
+		for _, e := range retired {
+			if err := jr.EpochAnalyzed(e); err != nil {
+				log.Printf("journal: marking epoch %d analyzed: %v", e, err)
+			}
 		}
 	}
 }
@@ -187,6 +207,8 @@ func main() {
 		maxWait     = flag.Int("max-wait", 2, "epochs (and idle ticks) a below-quorum window may be held open")
 		httpAddr    = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
 		eventsPath  = flag.String("events", "", `append one JSON event per analyzed epoch to this file ("-" = stdout)`)
+		slide       = flag.Int("slide", 1, "sliding-window width W: each analysis covers a span of W consecutive epochs, overlapping the previous span by W-1 (1 = classic per-epoch)")
+		analysis    = flag.String("analysis", "incremental", `analysis input maintenance: "incremental" updates state O(digest) at ingest so finalize is cheap; "batch" rebuilds from buffered digests at analyze time (reference)`)
 		memBudget   = flag.Int64("mem-budget", 0, "byte budget across buffered epoch windows (0 = unlimited)")
 		shedPolicy  = flag.String("shed-policy", "oldest", `sacrifice when -mem-budget is exhausted: "oldest" sheds whole old epochs, "reject" refuses new digests`)
 		rateLimit   = flag.Float64("rate-limit", 0, "per-sender admission rate, frames (TCP) or datagrams (UDP) per second; offenders are quarantined (0 = off)")
@@ -202,6 +224,15 @@ func main() {
 	default:
 		log.Fatalf(`-shed-policy %q: want "oldest" or "reject"`, *shedPolicy)
 	}
+	var analysisMode center.AnalysisMode
+	switch *analysis {
+	case "incremental":
+		analysisMode = center.AnalysisIncremental
+	case "batch":
+		analysisMode = center.AnalysisBatch
+	default:
+		log.Fatalf(`-analysis %q: want "incremental" or "batch"`, *analysis)
+	}
 	var gate transport.GateConfig
 	if *rateLimit > 0 {
 		gate = transport.GateConfig{Rate: *rateLimit, MaxStrikes: 8, Cooldown: 30 * time.Second}
@@ -213,6 +244,8 @@ func main() {
 		Beta:               *beta,
 		D:                  *dExp,
 		Parallelism:        *workers,
+		Analysis:           analysisMode,
+		WindowSlide:        *slide,
 		MaxEpochs:          *maxEpochs,
 		MinRouters:         *minRouters,
 		MaxWait:            *maxWait,
@@ -230,6 +263,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("events: %v", err)
 		}
+		ev.attachStats(c.Stats())
 		defer func() {
 			if err := ev.Close(); err != nil {
 				log.Printf("events: close: %v", err)

@@ -216,8 +216,20 @@ func Significant(rows, cols, a, b int, eps float64) bool {
 
 // Detect runs the greedy ASID detector (Figures 5/6) on the matrix.
 func Detect(m *Matrix, cfg DetectorConfig) (Detection, error) {
+	return DetectWithWeights(m, m.ColumnWeights(), cfg)
+}
+
+// DetectWithWeights is Detect with the column weights supplied by the caller.
+// The incremental accumulator maintains exact per-column popcounts as digests
+// arrive, so finalize skips the full O(n·m/64) popcount sweep; the weights
+// must equal m.ColumnWeights() or the screening order (and hence the result)
+// is undefined.
+func DetectWithWeights(m *Matrix, weights []int, cfg DetectorConfig) (Detection, error) {
 	if err := cfg.Validate(); err != nil {
 		return Detection{}, err
+	}
+	if len(weights) != m.Cols() {
+		return Detection{}, fmt.Errorf("aligned: %d column weights for %d columns", len(weights), m.Cols())
 	}
 	cfg = cfg.withDefaults()
 	n := m.Cols()
@@ -236,20 +248,11 @@ func Detect(m *Matrix, cfg DetectorConfig) (Detection, error) {
 	}
 
 	// S₁: the SubsetSize heaviest columns ("screening by weight"),
-	// descending by weight with index tie-break for determinism.
-	weights := m.ColumnWeights()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		wi, wj := weights[order[i]], weights[order[j]]
-		if wi != wj {
-			return wi > wj
-		}
-		return order[i] < order[j]
-	})
-	s1 := order[:cfg.SubsetSize]
+	// descending by weight with index tie-break for determinism. Only the
+	// top n′ are needed, so screening is a bounded-heap selection —
+	// O(n log n′) instead of a full O(n log n) sort, which matters every
+	// finalize once the weights themselves are maintained incrementally.
+	s1 := topColumns(weights, cfg.SubsetSize)
 
 	// Level 1: every column of S₁ is a 1-product.
 	hopefuls := make([]*product, len(s1))
@@ -362,6 +365,58 @@ func Detect(m *Matrix, cfg DetectorConfig) (Detection, error) {
 	}
 	sort.Ints(det.Cols)
 	return det, nil
+}
+
+// topColumns selects the k heaviest column indices, descending by weight with
+// ascending-index tie-break — exactly the prefix the full deterministic sort
+// would produce. A size-k min-heap (rooted at the *worst* retained column)
+// scans the weights once; columns beat the root under the same total order
+// the sort used, so the selection is bit-identical to order[:k].
+func topColumns(weights []int, k int) []int {
+	better := func(a, b int) bool { // does column a outrank column b?
+		if weights[a] != weights[b] {
+			return weights[a] > weights[b]
+		}
+		return a < b
+	}
+	heap := make([]int, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(heap) && better(heap[worst], heap[l]) {
+				worst = l
+			}
+			if r < len(heap) && better(heap[worst], heap[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	for j := 0; j < len(weights); j++ {
+		if len(heap) < k {
+			heap = append(heap, j)
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !better(heap[parent], heap[i]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if better(j, heap[0]) {
+			heap[0] = j
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return better(heap[i], heap[j]) })
+	return heap
 }
 
 func cloneProduct(p *product) *product {

@@ -65,6 +65,23 @@ func FromDigests(digests []*bitvec.Vector) *Matrix {
 	return m
 }
 
+// ColumnMatrix wraps pre-built column vectors as a matrix without copying:
+// the incremental accumulator maintains columns across a whole window and
+// hands them to the detector at finalize time. Every column must be rows bits
+// long; the matrix shares the columns' storage, so callers must not mutate
+// them while a detection runs.
+func ColumnMatrix(rows int, cols []*bitvec.Vector) *Matrix {
+	if rows <= 0 {
+		panic(fmt.Sprintf("aligned: invalid matrix shape %dx%d", rows, len(cols)))
+	}
+	for j, c := range cols {
+		if c.Len() != rows {
+			panic(fmt.Sprintf("aligned: column %d length %d, want %d", j, c.Len(), rows))
+		}
+	}
+	return &Matrix{rows: rows, cols: cols}
+}
+
 // RandomMatrix fills an m×n matrix with independent fair coin flips — the
 // Monte-Carlo null model of §V-A (half 1's, half 0's).
 func RandomMatrix(rng *rand.Rand, rows, cols int) *Matrix {

@@ -18,7 +18,6 @@ package center
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -67,6 +66,22 @@ type Config struct {
 	// level scan. Zero means GOMAXPROCS; negative means serial. Results are
 	// bit-identical at every setting — the knob trades wall clock only.
 	Parallelism int
+	// Analysis picks how analysis inputs are produced: AnalysisIncremental
+	// (the zero value) maintains them as digests arrive, so Analyze is a
+	// cheap finalize; AnalysisBatch rebuilds everything from the buffered
+	// digests at analyze time — the reference implementation. Reports are
+	// bit-identical either way.
+	Analysis AnalysisMode
+	// WindowSlide, when >= 2, turns on overlapping sliding-window analysis:
+	// Analyze(e) covers the span of epochs [e-WindowSlide+1, e], consecutive
+	// spans overlap by WindowSlide-1 epochs, and an epoch's state is retired
+	// only once it has left every future span — so common content split
+	// across an epoch boundary still meets itself inside some span. Spans
+	// close oldest-first; AnalyzeLatestComplete emits them in order. Zero or
+	// one means classic non-overlapping per-epoch analysis. MaxEpochs is
+	// clamped to at least WindowSlide+1 so a span is never truncated by ring
+	// eviction while the next epoch fills.
+	WindowSlide int
 	// MaxEpochs bounds how many distinct epochs are buffered at once (the
 	// reorder window). Zero means 4. When a digest opens an epoch beyond
 	// the bound, the oldest buffered epoch is evicted unanalyzed and its
@@ -130,9 +145,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxWait == 0 {
 		c.MaxWait = 2
 	}
+	if c.WindowSlide < 1 {
+		c.WindowSlide = 1
+	}
+	if c.WindowSlide > 1 && c.MaxEpochs < c.WindowSlide+1 {
+		c.MaxEpochs = c.WindowSlide + 1
+	}
 	if c.Stats == nil {
 		c.Stats = new(Stats)
 	}
+	c.Stats.IngestToAnalyzeSeconds.SetBuckets(centerLatencyBuckets)
+	c.Stats.FinalizeSeconds.SetBuckets(centerLatencyBuckets)
 	return c
 }
 
@@ -185,8 +208,18 @@ type WindowReport struct {
 	// RejectNew memory budget while it was buffering (the window analyzed,
 	// but incomplete).
 	RejectedDigests int
-	Aligned         *AlignedOutcome
-	Unaligned       *UnalignedOutcome
+	// SpanStart and SpanEpochs describe the analysis span: it covers epochs
+	// [SpanStart, Epoch], and SpanEpochs lists the ones that held data.
+	// RetiredEpochs lists the epochs whose buffered state was released with
+	// this report — in sliding mode an epoch is retired only once it has
+	// left every future span, so retirement trails Epoch by WindowSlide-1;
+	// crash-recovery journals can forget an epoch's frames when it appears
+	// here. Outside sliding mode all three reduce to the report's own epoch.
+	SpanStart     int
+	SpanEpochs    []int
+	RetiredEpochs []int
+	Aligned       *AlignedOutcome
+	Unaligned     *UnalignedOutcome
 }
 
 // window is one epoch's accumulating state.
@@ -207,14 +240,24 @@ type window struct {
 	// rejected counts digests a RejectNew memory budget refused from this
 	// window; the window's eventual report carries it and marks Degraded.
 	rejected int
+	// acc incrementally maintains this window's aligned detection state —
+	// the column-major matrix and per-column popcounts — as digests arrive;
+	// nil in AnalysisBatch mode. Mutated only under the center's mu. Its
+	// accounted bytes ride in the center's bufferedBytes ledger (not in
+	// w.bytes, which stays the retained digest payload).
+	acc *aligned.Accumulator
 }
 
-func newWindow() *window {
-	return &window{
+func (c *Center) newWindowLocked() *window {
+	w := &window{
 		aligned:      make(map[int]*bitvec.Vector),
 		unalignedIdx: make(map[int]int),
 		opened:       time.Now(),
 	}
+	if c.cfg.Analysis == AnalysisIncremental {
+		w.acc = aligned.NewAccumulator()
+	}
+	return w
 }
 
 func (w *window) digests() int { return len(w.aligned) + len(w.unaligned) }
@@ -265,16 +308,67 @@ type Center struct {
 	// shedReports holds the tombstone report of each epoch shed for memory
 	// pressure, until Analyze or TakeShedReports hands it out. guarded by mu
 	shedReports map[int]WindowReport
+	// tracker maintains the unaligned pairwise correlation evidence
+	// incrementally across all buffered epochs; nil in AnalysisBatch mode.
+	// Its accounted bytes ride in bufferedBytes. guarded by mu
+	tracker *unaligned.Tracker
+	// spanClosed is the newest epoch whose sliding span has been emitted;
+	// spans ending at or below it are foreclosed (sliding mode only).
+	spanClosed      int  // guarded by mu
+	spanClosedValid bool // guarded by mu
+
+	// lambdaTables caches λ threshold tables across analyzes. A table's
+	// entries are lazily memoized pure functions of (bits, p*), and in
+	// steady state every epoch reuses the same handful of geometries — a
+	// fresh table per Analyze would re-pay the hypergeometric tail search
+	// for every distinct weight pair on every finalize, which dominates
+	// the finalize cost once everything else is incremental.
+	tableMu      sync.Mutex
+	lambdaTables map[lambdaKey]*unaligned.LambdaTable
+}
+
+// lambdaKey identifies a λ table by geometry and tail probability.
+type lambdaKey struct {
+	bits  int
+	pstar float64
+}
+
+// lambdaTable returns the cached λ table for (bits, pstar), building it on
+// first use. Tables are safe for concurrent readers and their memoized
+// thresholds are deterministic, so sharing across analyzes cannot change
+// any result — only skip recomputing it.
+func (c *Center) lambdaTable(bits int, pstar float64) (*unaligned.LambdaTable, error) {
+	key := lambdaKey{bits: bits, pstar: pstar}
+	c.tableMu.Lock()
+	defer c.tableMu.Unlock()
+	if t, ok := c.lambdaTables[key]; ok {
+		return t, nil
+	}
+	t, err := unaligned.NewLambdaTable(bits, pstar)
+	if err != nil {
+		return nil, err
+	}
+	c.lambdaTables[key] = t
+	return t, nil
 }
 
 // New builds a center.
 func New(cfg Config) *Center {
-	return &Center{
-		cfg:      cfg.withDefaults(),
-		windows:  make(map[int]*window),
-		evicted:  make(map[int]bool),
-		lastSeen: make(map[int]int),
+	c := &Center{
+		cfg:          cfg.withDefaults(),
+		windows:      make(map[int]*window),
+		evicted:      make(map[int]bool),
+		lastSeen:     make(map[int]int),
+		lambdaTables: make(map[lambdaKey]*unaligned.LambdaTable),
 	}
+	if c.cfg.Analysis == AnalysisIncremental {
+		c.tracker = unaligned.NewTracker(unaligned.TrackerConfig{
+			TargetP1: c.cfg.TargetP1,
+			CoreP1:   c.cfg.CoreP1,
+			Reach:    c.cfg.WindowSlide,
+		})
+	}
+	return c
 }
 
 // Stats returns the center's counters (the shared Stats when one was passed
@@ -354,7 +448,10 @@ func (c *Center) Ingest(m transport.Message) {
 	// Admission runs before storage: a digest the memory budget refuses is
 	// counted RejectedDigests (its ledger) and the window marked, never
 	// half-stored. Replacements are admitted by their size *delta* — a
-	// same-width resend costs nothing.
+	// same-width resend costs nothing. In incremental mode the aligned
+	// admission also covers the accumulator's exact structural growth; the
+	// unaligned tracker's evidence growth is content-dependent, so it is
+	// enforced after the fact instead (enforceBudgetLocked).
 	sz := retainedBytes(m)
 	switch d := m.(type) {
 	case transport.AlignedDigest:
@@ -363,22 +460,40 @@ func (c *Center) Ingest(m transport.Message) {
 			if c.cfg.Duplicates == DupKeepFirst {
 				return
 			}
-			delta := sz - vecBytes(w.aligned[d.RouterID]) - entryOverheadBytes
+			old := w.aligned[d.RouterID]
+			delta := sz - vecBytes(old) - entryOverheadBytes
+			if w.acc != nil {
+				delta += w.acc.EstimateAdd(d.RouterID, d.Bitmap)
+			}
 			if !c.admitLocked(epoch, delta) {
 				c.rejectLocked(w)
 				return
 			}
 			w.aligned[d.RouterID] = d.Bitmap
-			w.bytes += delta
-			c.bufferedBytes += delta
+			if w.acc != nil {
+				// A DupKeepLast replacement must retract the digest it
+				// displaces before the new one lands, or the replaced bits
+				// would stay OR-ed into the column state forever.
+				w.acc.Remove(d.RouterID, old)
+				c.bufferedBytes += w.acc.Add(d.RouterID, d.Bitmap)
+			}
+			w.bytes += sz - vecBytes(old) - entryOverheadBytes
+			c.bufferedBytes += sz - vecBytes(old) - entryOverheadBytes
 			c.cfg.Stats.ReplacedDigests.Add(1)
 			return
 		}
-		if !c.admitLocked(epoch, sz) {
+		need := sz
+		if w.acc != nil {
+			need += w.acc.EstimateAdd(d.RouterID, d.Bitmap)
+		}
+		if !c.admitLocked(epoch, need) {
 			c.rejectLocked(w)
 			return
 		}
 		w.aligned[d.RouterID] = d.Bitmap
+		if w.acc != nil {
+			c.bufferedBytes += w.acc.Add(d.RouterID, d.Bitmap)
+		}
 	case transport.UnalignedDigest:
 		if i, dup := w.unalignedIdx[d.Digest.RouterID]; dup {
 			c.cfg.Stats.DuplicateDigests.Add(1)
@@ -393,6 +508,11 @@ func (c *Center) Ingest(m transport.Message) {
 			w.unaligned[i] = d.Digest
 			w.bytes += delta
 			c.bufferedBytes += delta
+			if c.tracker != nil {
+				c.bufferedBytes += c.tracker.Remove(epoch, d.Digest.RouterID)
+				c.bufferedBytes += c.tracker.Add(epoch, d.Digest)
+				c.enforceBudgetLocked(epoch)
+			}
 			c.cfg.Stats.ReplacedDigests.Add(1)
 			return
 		}
@@ -402,6 +522,14 @@ func (c *Center) Ingest(m transport.Message) {
 		}
 		w.unalignedIdx[d.Digest.RouterID] = len(w.unaligned)
 		w.unaligned = append(w.unaligned, d.Digest)
+		w.bytes += sz
+		c.bufferedBytes += sz
+		if c.tracker != nil {
+			c.bufferedBytes += c.tracker.Add(epoch, d.Digest)
+			c.enforceBudgetLocked(epoch)
+		}
+		c.cfg.Stats.DigestsIngested.Add(1)
+		return
 	}
 	w.bytes += sz
 	c.bufferedBytes += sz
@@ -467,8 +595,7 @@ func (c *Center) windowFor(epoch int) *window {
 		}
 		c.cfg.Stats.DroppedDigests.Add(int64(c.windows[victim].digests()))
 		c.cfg.Stats.EpochsEvicted.Add(1)
-		c.bufferedBytes -= c.windows[victim].bytes
-		delete(c.windows, victim)
+		c.releaseLocked(victim, c.windows[victim])
 		if victim == oldest {
 			// Only raising past the oldest keeps held mid-ring windows
 			// reachable; a floor above them would silently close them.
@@ -480,7 +607,7 @@ func (c *Center) windowFor(epoch int) *window {
 			c.evicted[victim] = true
 		}
 	}
-	w := newWindow()
+	w := c.newWindowLocked()
 	c.windows[epoch] = w
 	return w
 }
@@ -631,9 +758,11 @@ func (c *Center) EpochDigests() map[int]int {
 	return out
 }
 
-// Analyze closes the given epoch's window, analyzes it, and drops it; later
-// digests for this epoch count as late. ErrNoWindow when the center holds
-// nothing for the epoch.
+// Analyze closes the span ending at the given epoch, analyzes it, and
+// retires every window that has left all future spans (outside sliding mode:
+// exactly this window); later digests for retired epochs count as late.
+// ErrNoWindow when the center holds nothing for the epoch, or when a newer
+// sliding span already foreclosed this one.
 func (c *Center) Analyze(epoch int) (WindowReport, error) {
 	c.mu.Lock()
 	if rep, shed := c.shedReports[epoch]; shed {
@@ -645,19 +774,12 @@ func (c *Center) Analyze(epoch int) (WindowReport, error) {
 		c.mu.Unlock()
 		return rep, nil
 	}
-	w, ok := c.windows[epoch]
-	var meta windowMeta
-	if ok {
-		meta = c.metaLocked(epoch, w)
-		delete(c.windows, epoch)
-		c.bufferedBytes -= w.bytes
-		c.raiseFloor(epoch)
-	}
+	snap, err := c.closeSpanLocked(epoch)
 	c.mu.Unlock()
-	if !ok {
-		return WindowReport{Epoch: epoch}, fmt.Errorf("%w: %d", ErrNoWindow, epoch)
+	if err != nil {
+		return WindowReport{Epoch: epoch}, err
 	}
-	return c.analyzeWindow(epoch, w, meta)
+	return c.analyzeSpan(snap)
 }
 
 // AnalyzeLatestComplete analyzes the newest epoch that is complete — i.e.
@@ -667,103 +789,34 @@ func (c *Center) Analyze(epoch int) (WindowReport, error) {
 // becomes analyzable once quorum arrives or the fleet moves MaxWait epochs
 // past it; it then closes with Degraded/MissingRouters set on the report.
 // ErrNoCompleteEpoch when every buffered epoch is newest or held.
+// In sliding mode the pick flips to the *oldest* eligible epoch instead:
+// spans close in order, every epoch's span is emitted, and boundary content
+// is never skipped over by a newer arrival.
 func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
 	c.mu.Lock()
+	sliding := c.cfg.WindowSlide > 1
 	best, found := 0, false
 	for e := range c.windows {
 		if e >= c.maxSeen || c.quorumLocked(e).Hold {
 			continue
 		}
-		if !found || e > best {
+		if sliding && c.spanClosedValid && e <= c.spanClosed {
+			continue
+		}
+		if !found || (sliding && e < best) || (!sliding && e > best) {
 			best, found = e, true
 		}
 	}
-	var w *window
-	var meta windowMeta
-	if found {
-		w = c.windows[best]
-		meta = c.metaLocked(best, w)
-		delete(c.windows, best)
-		c.bufferedBytes -= w.bytes
-		c.raiseFloor(best)
-	}
-	c.mu.Unlock()
 	if !found {
+		c.mu.Unlock()
 		return WindowReport{}, ErrNoCompleteEpoch
 	}
-	return c.analyzeWindow(best, w, meta)
-}
-
-func (c *Center) analyzeWindow(epoch int, w *window, meta windowMeta) (WindowReport, error) {
-	rep := WindowReport{
-		Epoch:          epoch,
-		Routers:        meta.observed,
-		Degraded:       meta.degraded || w.rejected > 0,
-		MissingRouters: meta.missing,
-		// A window that refused digests under a RejectNew budget analyzed
-		// incomplete: the report says so rather than passing the verdict
-		// off as the full picture.
-		RejectedDigests: w.rejected,
-	}
-	if len(w.aligned) >= 2 {
-		out, err := c.analyzeAligned(w.aligned)
-		if err != nil {
-			return rep, err
-		}
-		rep.Aligned = out
-	}
-	if len(w.unaligned) >= 2 {
-		out, err := c.analyzeUnaligned(w.unaligned, meta)
-		if err != nil {
-			return rep, err
-		}
-		rep.Unaligned = out
-	}
-	c.cfg.Stats.EpochsAnalyzed.Add(1)
-	if meta.degraded {
-		c.cfg.Stats.DegradedEpochs.Add(1)
-	}
-	c.cfg.Stats.IngestToAnalyzeSeconds.Observe(time.Since(w.opened).Seconds())
-	return rep, nil
-}
-
-func (c *Center) analyzeAligned(digests map[int]*bitvec.Vector) (*AlignedOutcome, error) {
-	// No m′ rescaling is needed here: aligned.Detect computes the
-	// non-natural-occurrence significance bound from the matrix it is
-	// given, so a degraded window's m′ rows already condition the verdict.
-	//
-	// Fix a deterministic row order so Detection.Rows can be translated
-	// back to router ids (map iteration order is random).
-	ids := make([]int, 0, len(digests))
-	for id := range digests {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	vecs := make([]*bitvec.Vector, len(ids))
-	width := digests[ids[0]].Len()
-	for i, id := range ids {
-		v := digests[id]
-		if v.Len() != width {
-			return nil, fmt.Errorf("center: mixed aligned digest widths %d and %d", width, v.Len())
-		}
-		vecs[i] = v
-	}
-	subset := c.cfg.SubsetSize
-	if subset > width {
-		subset = width
-	}
-	acfg := aligned.RefinedConfig(subset)
-	acfg.Workers = c.cfg.Parallelism
-	det, err := aligned.Detect(aligned.FromDigests(vecs), acfg)
+	snap, err := c.closeSpanLocked(best)
+	c.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return WindowReport{Epoch: best}, err
 	}
-	out := &AlignedOutcome{Routers: len(digests), Detection: det}
-	for _, row := range det.Rows {
-		out.RouterIDs = append(out.RouterIDs, ids[row])
-	}
-	sort.Ints(out.RouterIDs)
-	return out, nil
+	return c.analyzeSpan(snap)
 }
 
 // scaledThreshold shrinks an ER component threshold tuned for fleet routers
@@ -794,7 +847,7 @@ func (c *Center) analyzeUnaligned(digests []*unaligned.Digest, meta windowMeta) 
 	if p1 == 0 {
 		p1 = 0.5 / float64(n)
 	}
-	lt, err := unaligned.NewLambdaTable(gm.ArrayBits(), unaligned.PStarForEdgeProbability(p1, rowPairs))
+	lt, err := c.lambdaTable(gm.ArrayBits(), unaligned.PStarForEdgeProbability(p1, rowPairs))
 	if err != nil {
 		return nil, err
 	}
@@ -818,7 +871,7 @@ func (c *Center) analyzeUnaligned(digests []*unaligned.Digest, meta windowMeta) 
 	if coreP1 == 0 {
 		coreP1 = 8 / float64(n)
 	}
-	coreTable, err := unaligned.NewLambdaTable(gm.ArrayBits(), unaligned.PStarForEdgeProbability(coreP1, rowPairs))
+	coreTable, err := c.lambdaTable(gm.ArrayBits(), unaligned.PStarForEdgeProbability(coreP1, rowPairs))
 	if err != nil {
 		return nil, err
 	}

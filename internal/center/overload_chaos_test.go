@@ -76,7 +76,9 @@ func TestChaosOverloadDegradedNeverWrong(t *testing.T) {
 	// sacrifice epochs 1-3 as 4 and 5 fill.
 	perDigest := retainedBytes(epochs[1].DigestMessages(1)[0])
 	budget := perDigest * fleet * 5 / 2
-	c := New(Config{SubsetSize: 256, MaxEpochs: 8, MemoryBudgetBytes: budget, Shedding: ShedOldest})
+	// Batch mode so the digest-denominated budget arithmetic above holds;
+	// the incremental state's budget accounting is covered separately.
+	c := New(Config{Analysis: AnalysisBatch, SubsetSize: 256, MaxEpochs: 8, MemoryBudgetBytes: budget, Shedding: ShedOldest})
 
 	// Journal on a faulty disk: the first ENOSPC arrives mid-run, and the
 	// 1ms retry interval lets the journal re-arm while traffic continues.

@@ -66,7 +66,9 @@ func retainedBytes(m transport.Message) int64 {
 }
 
 // BufferedBytes reports the byte-accounted size of every buffered epoch
-// window — the number the memory budget constrains.
+// window — retained digests plus, in incremental mode, the aligned
+// accumulators and unaligned tracker evidence — the number the memory
+// budget constrains.
 func (c *Center) BufferedBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -132,14 +134,18 @@ func (c *Center) admitLocked(epoch int, need int64) bool {
 func (c *Center) shedLocked(victim int) {
 	w := c.windows[victim]
 	rep := WindowReport{
-		Epoch:       victim,
-		Routers:     len(w.reporters()),
-		Degraded:    true,
-		Shed:        true,
-		ShedDigests: w.digests(),
+		Epoch:         victim,
+		Routers:       len(w.reporters()),
+		Degraded:      true,
+		Shed:          true,
+		ShedDigests:   w.digests(),
+		SpanStart:     victim,
+		RetiredEpochs: []int{victim},
 	}
-	delete(c.windows, victim)
-	c.bufferedBytes -= w.bytes
+	// releaseLocked returns the window's digest bytes *and* its incremental
+	// state — the aligned accumulator and the tracker evidence touching the
+	// epoch — so shedding actually frees what the budget charged.
+	c.releaseLocked(victim, w)
 	anyOlder := false
 	for e := range c.windows {
 		if e < victim {

@@ -21,7 +21,10 @@ func digestCost() int64 {
 func TestShedOldestUnderBudget(t *testing.T) {
 	const perEpoch = 4
 	budget := digestCost() * (perEpoch + 1) // room for one epoch, not two
-	c := New(Config{MemoryBudgetBytes: budget, Shedding: ShedOldest, MaxEpochs: 8})
+	// Batch mode: these tests express budgets in digest bytes; the
+	// incremental accumulator's footprint has its own regression test
+	// (TestBudgetCountsAccumulatorBytes).
+	c := New(Config{Analysis: AnalysisBatch, MemoryBudgetBytes: budget, Shedding: ShedOldest, MaxEpochs: 8})
 	for epoch := 1; epoch <= 3; epoch++ {
 		for r := 0; r < perEpoch; r++ {
 			c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: epoch, Bitmap: smallBitmap(uint64(epoch*10 + r))})
@@ -85,7 +88,7 @@ func TestShedOldestUnderBudget(t *testing.T) {
 // epoch was sacrificed, not that it never existed.
 func TestAnalyzeShedEpochReturnsTombstone(t *testing.T) {
 	budget := digestCost() * 2
-	c := New(Config{MemoryBudgetBytes: budget, MaxEpochs: 8})
+	c := New(Config{Analysis: AnalysisBatch, MemoryBudgetBytes: budget, MaxEpochs: 8})
 	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 1, Bitmap: smallBitmap(1)})
 	c.Ingest(transport.AlignedDigest{RouterID: 0, Epoch: 2, Bitmap: smallBitmap(2)})
 	c.Ingest(transport.AlignedDigest{RouterID: 1, Epoch: 2, Bitmap: smallBitmap(3)})
@@ -109,7 +112,7 @@ func TestAnalyzeShedEpochReturnsTombstone(t *testing.T) {
 // window's report Degraded with the rejection count.
 func TestRejectNewUnderBudget(t *testing.T) {
 	budget := digestCost() * 3
-	c := New(Config{MemoryBudgetBytes: budget, Shedding: RejectNew, MaxEpochs: 8})
+	c := New(Config{Analysis: AnalysisBatch, MemoryBudgetBytes: budget, Shedding: RejectNew, MaxEpochs: 8})
 	for r := 0; r < 3; r++ {
 		c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: 1, Bitmap: smallBitmap(uint64(r))})
 	}

@@ -52,6 +52,23 @@ type Stats struct {
 	// digest to the completion of its analysis — the operator's view of how
 	// far behind the fleet the center is running.
 	IngestToAnalyzeSeconds metrics.Histogram
+	// FinalizeSeconds is the wall time Analyze spends producing a report
+	// once the span snapshot detaches — the cost the incremental path
+	// drives down from a full rebuild to a replay of maintained state.
+	FinalizeSeconds metrics.Histogram
+}
+
+// centerLatencyBuckets replaces metrics.DefBuckets on the center's latency
+// histograms. The defaults start at 0.5ms and stop at 10s — too coarse at
+// both ends here: an incremental finalize lands in tens of microseconds
+// (everything below 0.5ms collapsed into one bucket, so p50 and p99 were
+// indistinguishable), while a quorum-held window can take minutes from
+// first digest to analysis (saturating +Inf). Roughly log-spaced,
+// 10µs..60s, ~4 buckets per decade.
+var centerLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
 // Register exposes every counter (and the ingest→analyze histogram) on r
@@ -85,6 +102,8 @@ func (s *Stats) Register(r *metrics.Registry) {
 		"epoch windows analyzed below the MinRouters quorum", &s.DegradedEpochs)
 	r.RegisterHistogram("dcs_center_ingest_to_analyze_seconds",
 		"latency from a window's first digest to its analysis completing", &s.IngestToAnalyzeSeconds)
+	r.RegisterHistogram("dcs_center_finalize_seconds",
+		"wall time from span detach to report, the analyze-path cost", &s.FinalizeSeconds)
 }
 
 // Snapshot is a plain-int copy of Stats, safe to compare and print.

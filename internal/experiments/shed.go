@@ -109,7 +109,9 @@ func shedVectors(p ShedParams) []*bitvec.Vector {
 func runShedCell(p ShedParams, vecs []*bitvec.Vector, policy center.ShedPolicy, name string, pressure int, budget int64) (ShedCell, error) {
 	c := center.New(center.Config{
 		// MaxEpochs must exceed the stream so the memory budget, not the
-		// epoch-count cap, is the binding constraint being measured.
+		// epoch-count cap, is the binding constraint being measured; batch
+		// mode so the digest-denominated budget is the only charge.
+		Analysis:          center.AnalysisBatch,
 		MaxEpochs:         p.Epochs + 1,
 		MemoryBudgetBytes: budget,
 		Shedding:          policy,

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"dcstream/internal/bitvec"
+	"dcstream/internal/center"
+	"dcstream/internal/stats"
+	"dcstream/internal/transport"
+	"dcstream/internal/unaligned"
+)
+
+// StreamingParams sizes the finalize-latency benchmark: a fleet streams both
+// digest kinds into the center epoch after epoch, and every epoch is analyzed
+// as soon as the next one has fully arrived. The same workload runs once in
+// batch mode (analysis inputs rebuilt from the buffered digests at analyze
+// time) and once in incremental mode (state maintained O(digest) at ingest,
+// analyze is a finalize) — the cells compare the per-analyze latency
+// distributions, and the run fails loudly if the two modes' reports are not
+// bit-identical.
+type StreamingParams struct {
+	Seed    uint64
+	Routers int // digests of each kind per epoch
+	Epochs  int // epochs streamed (one finalize sample each)
+	Bits    int // aligned bitmap width
+	Subset  int // detector subset n' (Theorem 2: about sqrt(Bits))
+	Groups  int // unaligned groups per digest
+	Arrays  int // unaligned arrays per group
+	Workers int
+	// Warmup analyzes run but are excluded from the latency samples, in
+	// both modes alike: the first workload cycle populates the λ threshold
+	// memos (a one-time hypergeometric-tail cost shared by both paths), and
+	// steady state — the regime a live center spends its life in — is what
+	// the quantiles are meant to describe.
+	Warmup int
+}
+
+// StreamingParamsFor returns the standard sizing for a scale.
+func StreamingParamsFor(seed uint64, s Scale) StreamingParams {
+	p := StreamingParams{Seed: seed, Bits: 1 << 13, Subset: 96, Groups: 4, Arrays: 10, Warmup: 8}
+	switch s {
+	case ScaleTest:
+		p.Routers, p.Epochs = 16, 40
+	case ScalePaper:
+		p.Routers, p.Epochs = 64, 400
+	default:
+		p.Routers, p.Epochs = 32, 150
+	}
+	return p
+}
+
+// StreamingCell is one mode's run. Ingest cost and finalize latency trade
+// against each other — incremental mode pays per digest what batch mode pays
+// all at once inside Analyze — so both sides of the trade are recorded.
+type StreamingCell struct {
+	Mode              string
+	IngestMillis      float64 // wall time of all Ingest calls
+	IngestPerDigestUS float64
+	FinalizeP50US     float64 // per-Analyze wall-time quantiles
+	FinalizeP99US     float64
+	FinalizeMaxUS     float64
+	Analyses          int
+}
+
+// StreamingResult reports both cells and the batch/incremental latency
+// ratios — the headline numbers the incremental path exists for.
+type StreamingResult struct {
+	Params     StreamingParams
+	Cells      []StreamingCell
+	SpeedupP50 float64 // batch p50 / incremental p50
+	SpeedupP99 float64 // batch p99 / incremental p99
+}
+
+// Table renders the comparison.
+func (r *StreamingResult) Table() string {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Mode,
+			f1(c.IngestMillis),
+			fmt.Sprintf("%.2f", c.IngestPerDigestUS),
+			f1(c.FinalizeP50US),
+			f1(c.FinalizeP99US),
+			f1(c.FinalizeMaxUS),
+			fmt.Sprintf("%d", c.Analyses),
+		})
+	}
+	t := table(
+		fmt.Sprintf("Finalize latency, batch vs incremental (%d routers x 2 kinds x %d epochs, %d-bit aligned, %dx%d unaligned, first %d analyzes warm up)",
+			r.Params.Routers, r.Params.Epochs, r.Params.Bits, r.Params.Groups, r.Params.Arrays, r.Params.Warmup),
+		[]string{"mode", "ingest ms", "us/digest", "finalize p50 us", "p99 us", "max us", "analyses"},
+		rows,
+	)
+	return t + fmt.Sprintf("incremental finalize speedup: p50 %.1fx, p99 %.1fx (reports bit-identical across modes)\n",
+		r.SpeedupP50, r.SpeedupP99)
+}
+
+// streamingWorkload is the pre-built digest stream, shared verbatim by both
+// mode runs so they see byte-identical input.
+type streamingWorkload struct {
+	aligned   [][]*bitvec.Vector    // [router][variant]
+	unaligned [][]*unaligned.Digest // [router][variant]
+}
+
+// buildStreamingWorkload draws the digest pools. A shared "content" vector is
+// planted into one group of some routers' digests so the unaligned
+// correlation state is non-trivially populated — an all-background stream
+// would flatter the batch path (its quadratic correlation pass short-circuits
+// on empty rows) and starve the incremental tracker of evidence.
+func buildStreamingWorkload(p StreamingParams) *streamingWorkload {
+	rng := stats.NewRand(p.Seed)
+	fill := func(v *bitvec.Vector, bits, n int) {
+		for i := 0; i < n; i++ {
+			v.Set(rng.Intn(bits))
+		}
+	}
+	w := &streamingWorkload{}
+	// Every router draws its own background bitmaps — two routers sharing a
+	// pool vector would look like thousands of perfectly common packets and
+	// send the detector into a deep (and unrepresentative) level scan that
+	// costs the same in both modes, burying the finalize difference under it.
+	w.aligned = make([][]*bitvec.Vector, p.Routers)
+	for r := 0; r < p.Routers; r++ {
+		w.aligned[r] = make([]*bitvec.Vector, 4)
+		for vnt := range w.aligned[r] {
+			v := bitvec.New(p.Bits)
+			fill(v, p.Bits, p.Bits/4)
+			w.aligned[r][vnt] = v
+		}
+	}
+	const arrayBits = 512
+	shared := bitvec.New(arrayBits)
+	fill(shared, arrayBits, arrayBits/3)
+	w.unaligned = make([][]*unaligned.Digest, p.Routers)
+	for r := 0; r < p.Routers; r++ {
+		w.unaligned[r] = make([]*unaligned.Digest, 4)
+		for vnt := range w.unaligned[r] {
+			d := &unaligned.Digest{RouterID: r, Rows: make([][]*bitvec.Vector, p.Groups)}
+			for g := range d.Rows {
+				d.Rows[g] = make([]*bitvec.Vector, p.Arrays)
+				for a := range d.Rows[g] {
+					v := bitvec.New(arrayBits)
+					fill(v, arrayBits, arrayBits/8)
+					if g == 0 && r%3 == 0 {
+						v.Or(v, shared)
+					}
+					d.Rows[g][a] = v
+				}
+			}
+			w.unaligned[r][vnt] = d
+		}
+	}
+	return w
+}
+
+// runStreamingCell streams the workload through one center and samples every
+// Analyze. Epoch e is finalized as soon as epoch e+1 has fully arrived — the
+// steady-state cadence of a live deployment.
+func runStreamingCell(p StreamingParams, w *streamingWorkload, mode center.AnalysisMode, name string) (StreamingCell, []center.WindowReport, error) {
+	c := center.New(center.Config{
+		SubsetSize:  p.Subset,
+		Analysis:    mode,
+		MaxEpochs:   4,
+		Parallelism: p.Workers,
+	})
+	cell := StreamingCell{Mode: name}
+	var reports []center.WindowReport
+	var lats []float64
+	var ingest time.Duration
+	analyze := func(e int) error {
+		t0 := time.Now()
+		rep, err := c.Analyze(e)
+		if err != nil {
+			return fmt.Errorf("experiments: streaming %s: epoch %d: %w", name, e, err)
+		}
+		if len(reports) >= p.Warmup {
+			lats = append(lats, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+		reports = append(reports, rep)
+		return nil
+	}
+	for e := 1; e <= p.Epochs; e++ {
+		t0 := time.Now()
+		for r := 0; r < p.Routers; r++ {
+			c.Ingest(transport.AlignedDigest{RouterID: r, Epoch: e, Bitmap: w.aligned[r][e%len(w.aligned[r])]})
+			c.Ingest(transport.UnalignedDigest{Epoch: e, Digest: w.unaligned[r][e%len(w.unaligned[r])]})
+		}
+		ingest += time.Since(t0)
+		if e >= 2 {
+			if err := analyze(e - 1); err != nil {
+				return cell, nil, err
+			}
+		}
+	}
+	if err := analyze(p.Epochs); err != nil {
+		return cell, nil, err
+	}
+
+	sort.Float64s(lats)
+	q := func(f float64) float64 { return lats[int(f*float64(len(lats)-1))] }
+	cell.IngestMillis = float64(ingest.Microseconds()) / 1000
+	cell.IngestPerDigestUS = float64(ingest.Microseconds()) / float64(2*p.Routers*p.Epochs)
+	cell.FinalizeP50US = q(0.5)
+	cell.FinalizeP99US = q(0.99)
+	cell.FinalizeMaxUS = lats[len(lats)-1]
+	cell.Analyses = len(lats)
+	return cell, reports, nil
+}
+
+// RunStreaming runs the workload in both modes and checks the equivalence
+// contract on the way: every report must be bit-identical across modes, or
+// the latency comparison is comparing two different computations.
+func RunStreaming(p StreamingParams) (*StreamingResult, error) {
+	if p.Routers <= 0 || p.Epochs < 2 || p.Bits <= 0 || p.Subset <= 1 || p.Groups <= 0 || p.Arrays <= 0 {
+		return nil, fmt.Errorf("experiments: streaming: need positive sizes and >= 2 epochs, got %+v", p)
+	}
+	w := buildStreamingWorkload(p)
+	batch, bReps, err := runStreamingCell(p, w, center.AnalysisBatch, "batch")
+	if err != nil {
+		return nil, err
+	}
+	inc, iReps, err := runStreamingCell(p, w, center.AnalysisIncremental, "incremental")
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(bReps, iReps) {
+		return nil, fmt.Errorf("experiments: streaming: batch and incremental reports diverged — equivalence contract broken")
+	}
+	res := &StreamingResult{Params: p, Cells: []StreamingCell{batch, inc}}
+	if inc.FinalizeP50US > 0 {
+		res.SpeedupP50 = batch.FinalizeP50US / inc.FinalizeP50US
+	}
+	if inc.FinalizeP99US > 0 {
+		res.SpeedupP99 = batch.FinalizeP99US / inc.FinalizeP99US
+	}
+	return res, nil
+}

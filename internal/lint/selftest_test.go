@@ -113,3 +113,71 @@ func TestLoadModuleCoversWholeModule(t *testing.T) {
 	}
 	t.Logf("LoadModule covers all %d packages incl. %d cmd binaries", len(pkgs), len(dcsBinaries))
 }
+
+// incrementalStateFiles are the files holding the ingest-time analysis state
+// added for the streaming/incremental path. Their correctness contract is
+// determinism (incremental must reproduce batch bit-for-bit), so each must
+// be (a) actually loaded by the linter and (b) inside the scope of the
+// determinism rules — walltime for the accumulator packages, maporder for
+// everything, lockdiscipline via the center's guarded-by annotations.
+var incrementalStateFiles = map[string][]string{
+	"dcstream/internal/aligned":   {"accumulator.go", "matrix.go"},
+	"dcstream/internal/unaligned": {"tracker.go"},
+	"dcstream/internal/center":    {"streaming.go"},
+}
+
+// TestDeterminismRulesCoverIncrementalState pins the accumulator files into
+// the dcslint scope: a rename, a package split, or a scope-list edit that
+// silently dropped the incremental state out of the determinism rules would
+// fail here, not in a later debugging session.
+func TestDeterminismRulesCoverIncrementalState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	for path := range incrementalStateFiles {
+		seg := path[strings.LastIndex(path, "/")+1:]
+		if !segmentIn(seg, maporderPkgs) {
+			t.Errorf("maporder scope lost %q; incremental state in %s is no longer order-checked", seg, path)
+		}
+		if seg != "center" && !segmentIn(seg, deterministicPkgs) {
+			t.Errorf("walltime scope lost %q; accumulators in %s may silently read the clock", seg, path)
+		}
+	}
+
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		want := incrementalStateFiles[pkg.Path]
+		if want == nil {
+			continue
+		}
+		have := map[string]bool{}
+		for _, f := range pkg.Files {
+			have[filepath.Base(pkg.Fset.File(f.Pos()).Name())] = true
+		}
+		for _, name := range want {
+			if !have[name] {
+				t.Errorf("%s: %s not in the lint load; the incremental state is not being linted", pkg.Path, name)
+			}
+		}
+		delete(incrementalStateFiles, pkg.Path)
+	}
+	for path := range incrementalStateFiles {
+		t.Errorf("package %s not loaded at all", path)
+	}
+}
+
+func segmentIn(seg string, list []string) bool {
+	for _, s := range list {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

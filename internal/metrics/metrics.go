@@ -132,6 +132,43 @@ func (h *Histogram) Observe(v float64) {
 // Count returns how many observations were recorded.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (clamped to [0,1]) of the recorded
+// observations by linear interpolation inside the owning bucket — the same
+// estimate Prometheus's histogram_quantile gives, so a local report and a
+// dashboard agree. The +Inf bucket has no upper bound, so quantiles landing
+// there report the largest finite bound; an empty histogram reports 0. The
+// counts are read without a snapshot cut, which is fine for monitoring.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.once.Do(func() { h.init(nil) })
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n > 0 && cum+n >= target {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(target-cum)/n
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

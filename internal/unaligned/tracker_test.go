@@ -1,0 +1,263 @@
+package unaligned
+
+import (
+	"testing"
+
+	"dcstream/internal/bitvec"
+	"math/rand"
+
+	"dcstream/internal/graph"
+	"dcstream/internal/stats"
+)
+
+const (
+	trTestBits   = 512
+	trTestArrays = 2
+)
+
+// trDigest builds a digest with the given group count, rows ~half full.
+func trDigest(rng *rand.Rand, router, groups int) *Digest {
+	d := &Digest{RouterID: router, Rows: make([][]*bitvec.Vector, groups)}
+	for g := range d.Rows {
+		d.Rows[g] = make([]*bitvec.Vector, trTestArrays)
+		for a := range d.Rows[g] {
+			v := bitvec.New(trTestBits)
+			v.FillRandomHalf(rng.Uint64)
+			d.Rows[g][a] = v
+		}
+	}
+	return d
+}
+
+// trPlantShared overwrites one row in each of two digests with the same
+// bitmap, so that vertex pair is correlated far past any λ.
+func trPlantShared(rng *rand.Rand, a, b *Digest, ga, gb int) {
+	v := bitvec.New(trTestBits)
+	v.FillRandomHalf(rng.Uint64)
+	a.Rows[ga][0] = v
+	b.Rows[gb][1] = v.Clone()
+}
+
+// trBatchGraph is the batch reference: Merge in member order, then BuildGraph
+// under the given table.
+func trBatchGraph(t *testing.T, digests []*Digest, table *LambdaTable) *graph.Graph {
+	t.Helper()
+	gm, err := Merge(digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gm.BuildGraph(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// trIncGraph builds the graph from tracker evidence.
+func trIncGraph(tr *Tracker, order []MemberRef, table *LambdaTable) *graph.Graph {
+	ev := tr.Snapshot(order)
+	g := graph.New(ev.NumVertices())
+	for _, e := range ev.Edges(table) {
+		g.AddEdge(int(e[0]), int(e[1]))
+	}
+	return g
+}
+
+func trCompareGraphs(t *testing.T, name string, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("%s: %d vertices, want %d", name, got.NumVertices(), want.NumVertices())
+	}
+	for u := 0; u < want.NumVertices(); u++ {
+		for v := u + 1; v < want.NumVertices(); v++ {
+			if got.HasEdge(u, v) != want.HasEdge(u, v) {
+				t.Fatalf("%s: edge (%d,%d) incremental=%v batch=%v", name, u, v, got.HasEdge(u, v), want.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+// finalTables builds the ER and core λ tables the center would use for n
+// vertices with dynamic defaults.
+func finalTables(t *testing.T, n int) (*LambdaTable, *LambdaTable) {
+	t.Helper()
+	rowPairs := trTestArrays * trTestArrays
+	er, err := NewLambdaTable(trTestBits, PStarForEdgeProbability(0.5/float64(n), rowPairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewLambdaTable(trTestBits, PStarForEdgeProbability(8/float64(n), rowPairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return er, core
+}
+
+func TestTrackerMatchesBatchSingleEpoch(t *testing.T) {
+	rng := stats.NewRand(31)
+	const routers = 12
+	digests := make([]*Digest, routers)
+	order := make([]MemberRef, routers)
+	for r := range digests {
+		digests[r] = trDigest(rng, r, 1+r%3)
+		order[r] = MemberRef{Epoch: 1, Router: r}
+	}
+	// Correlate a few vertex pairs, including an intra-router group pair.
+	trPlantShared(rng, digests[0], digests[5], 0, 1)
+	trPlantShared(rng, digests[2], digests[2], 0, 1)
+	trPlantShared(rng, digests[7], digests[11], 0, 0)
+
+	tr := NewTracker(TrackerConfig{Reach: 1})
+	for _, d := range digests {
+		tr.Add(1, d)
+	}
+	if !tr.Snapshot(order).Usable() {
+		t.Fatal("well-formed span flagged unusable")
+	}
+	gm, err := Merge(digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, core := finalTables(t, gm.NumVertices())
+	for _, tc := range []struct {
+		name  string
+		table *LambdaTable
+	}{{"er", er}, {"core", core}} {
+		want := trBatchGraph(t, digests, tc.table)
+		got := trIncGraph(tr, order, tc.table)
+		trCompareGraphs(t, tc.name, got, want)
+		if want.NumEdges() == 0 {
+			t.Fatalf("%s: reference graph has no edges, test is vacuous", tc.name)
+		}
+	}
+}
+
+func TestTrackerRetraction(t *testing.T) {
+	rng := stats.NewRand(32)
+	const routers = 8
+	digests := make([]*Digest, routers)
+	order := make([]MemberRef, routers)
+	for r := range digests {
+		digests[r] = trDigest(rng, r, 2)
+		order[r] = MemberRef{Epoch: 4, Router: r}
+	}
+	trPlantShared(rng, digests[1], digests[6], 1, 0)
+
+	tr := NewTracker(TrackerConfig{Reach: 1})
+	for _, d := range digests {
+		tr.Add(4, d)
+	}
+	// Replace router 3 with a fresh digest (same group count) and router 6
+	// with one correlated to router 2 instead.
+	repl3 := trDigest(rng, 3, 2)
+	repl6 := trDigest(rng, 6, 2)
+	trPlantShared(rng, digests[2], repl6, 0, 1)
+	for _, rep := range []struct {
+		r int
+		d *Digest
+	}{{3, repl3}, {6, repl6}} {
+		tr.Remove(4, rep.r)
+		tr.Add(4, rep.d)
+		digests[rep.r] = rep.d
+	}
+
+	if !tr.Snapshot(order).Usable() {
+		t.Fatal("span unusable after same-shape replacement")
+	}
+	gm, err := Merge(digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, _ := finalTables(t, gm.NumVertices())
+	trCompareGraphs(t, "after-retraction", trIncGraph(tr, order, er), trBatchGraph(t, digests, er))
+}
+
+func TestTrackerCrossEpoch(t *testing.T) {
+	rng := stats.NewRand(33)
+	tr := NewTracker(TrackerConfig{Reach: 2})
+	var digests []*Digest
+	var order []MemberRef
+	for _, ep := range []int{1, 2} {
+		for r := 0; r < 5; r++ {
+			d := trDigest(rng, r, 2)
+			tr.Add(ep, d)
+			digests = append(digests, d)
+			order = append(order, MemberRef{Epoch: ep, Router: r})
+		}
+	}
+	// Correlate across the boundary: epoch 1 router 4 with epoch 2 router 0.
+	trPlantShared(rng, digests[4], digests[5], 0, 1)
+	// Planting mutated rows after Add, so rebuild those two members the way
+	// the center would on replacement.
+	for _, i := range []int{4, 5} {
+		tr.Remove(order[i].Epoch, order[i].Router)
+		tr.Add(order[i].Epoch, digests[i])
+	}
+
+	if !tr.Snapshot(order).Usable() {
+		t.Fatal("cross-epoch span unusable")
+	}
+	gm, err := Merge(digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, core := finalTables(t, gm.NumVertices())
+	wantER := trBatchGraph(t, digests, er)
+	trCompareGraphs(t, "cross-er", trIncGraph(tr, order, er), wantER)
+	trCompareGraphs(t, "cross-core", trIncGraph(tr, order, core), trBatchGraph(t, digests, core))
+
+	// The planted cross-epoch edge joins vertex 9 (epoch 1 router 4, group 0;
+	// routers 0..4 with 2 groups each, so base of member 4 is 8) with vertex
+	// 10 (epoch 2 router 0 group 1 is 10+1... assert via the reference).
+	if wantER.NumEdges() == 0 {
+		t.Fatal("no cross-epoch edge in reference graph")
+	}
+
+	// Retiring epoch 1 drops its members and every pair touching it, and the
+	// byte ledger returns to exactly the epoch-2-only footprint.
+	tr.DropEpoch(1)
+	tr.DropEpoch(2)
+	if tr.Bytes() != 0 {
+		t.Fatalf("ledger leaks %d bytes after dropping all epochs", tr.Bytes())
+	}
+	if len(tr.pairs) != 0 || len(tr.members) != 0 {
+		t.Fatalf("state leaks after dropping all epochs: %d members, %d pairs", len(tr.members), len(tr.pairs))
+	}
+}
+
+func TestTrackerFallbackFlags(t *testing.T) {
+	rng := stats.NewRand(34)
+
+	// A malformed digest (empty group) poisons spans containing it.
+	tr := NewTracker(TrackerConfig{Reach: 1})
+	good := trDigest(rng, 0, 2)
+	bad := &Digest{RouterID: 1, Rows: [][]*bitvec.Vector{{}}}
+	tr.Add(1, good)
+	tr.Add(1, bad)
+	if tr.Snapshot([]MemberRef{{1, 0}, {1, 1}}).Usable() {
+		t.Fatal("span with empty-group digest usable")
+	}
+	if !tr.Snapshot([]MemberRef{{1, 0}}).Usable() {
+		t.Fatal("span excluding the bad digest unusable")
+	}
+
+	// A replacement with fewer groups breaks the vertex-count lower bound;
+	// the whole epoch must fall back.
+	tr2 := NewTracker(TrackerConfig{Reach: 1})
+	tr2.Add(2, trDigest(rng, 0, 3))
+	tr2.Add(2, trDigest(rng, 1, 2))
+	tr2.Remove(2, 0)
+	tr2.Add(2, trDigest(rng, 0, 2))
+	if tr2.Snapshot([]MemberRef{{2, 0}, {2, 1}}).Usable() {
+		t.Fatal("epoch that shrank below its vertex high-water mark still usable")
+	}
+
+	// Mixed widths across members poison the span.
+	tr3 := NewTracker(TrackerConfig{Reach: 1})
+	tr3.Add(3, trDigest(rng, 0, 2))
+	narrow := &Digest{RouterID: 1, Rows: [][]*bitvec.Vector{{bitvec.New(64), bitvec.New(64)}}}
+	tr3.Add(3, narrow)
+	if tr3.Snapshot([]MemberRef{{3, 0}, {3, 1}}).Usable() {
+		t.Fatal("mixed-width span usable")
+	}
+}
