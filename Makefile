@@ -3,7 +3,7 @@ FUZZTIME ?= 30s
 BENCH_LABEL ?= local
 BENCH_SCALE ?= default
 
-.PHONY: build test lint verify bench bench-json bench-udp-json bench-streaming-json chaos fuzz-smoke clean
+.PHONY: build test lint verify bench bench-json bench-udp-json bench-streaming-json bench-shards-json chaos fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,16 @@ bench-shed-json:
 bench-streaming-json:
 	$(GO) run ./cmd/dcsbench -exp streaming -scale $(BENCH_SCALE) -json -label streaming > BENCH_streaming.json
 
+# Shard-tier scaling baseline: per-shard critical path (slowest shard, each
+# measured in isolation — the wall time of a one-host-per-shard deployment)
+# at 1/2/4 shards over one seeded stream, committed as BENCH_shards.json.
+# Every width's merged verdicts are checked against a single un-sharded
+# center inside the run, so the committed scaling is scaling of the same
+# computation; the span-share column carries the hash-partition bound the
+# speedups are read against.
+bench-shards-json:
+	$(GO) run ./cmd/dcsbench -exp shards -scale $(BENCH_SCALE) -json -label shards > BENCH_shards.json
+
 # Fault-injection tier: the chaos-proxy integration tests (crash recovery
 # through a corrupting link, lossy-UDP degraded-never-wrong, quorum under
 # partition, eventual delivery and CRC integrity) plus the journal,
@@ -79,10 +89,13 @@ bench-streaming-json:
 # schedules are seeded in the tests themselves, so the run is reproducible.
 # The streaming tier rides here as well: incremental-vs-batch equivalence
 # under dup/late/tombstone churn at several worker counts, the sliding-window
-# straddle detection, and the accumulator memory-budget ledger.
+# straddle detection, and the accumulator memory-budget ledger. The shard
+# tier's chaos suite joins them: kill-one-shard Degraded-never-wrong, the
+# mid-span crash journal replay on a shard journal, and the scatter/gather
+# bit-identity contracts.
 chaos:
-	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape|Degraded|Shed|Gate|Quarantin|ShortWrite|Rollback|Budget|Healthz|Overload|Incremental|Sliding' \
-		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/... ./cmd/dcsd/...
+	$(GO) test -race -run 'Chaos|Crash|Partition|Quorum|Torn|Replay|Eviction|DupKeep|Metrics|Scrape|Degraded|Shed|Gate|Quarantin|ShortWrite|Rollback|Budget|Healthz|Overload|Incremental|Sliding|Shard' \
+		./internal/center/... ./internal/transport/... ./internal/faultinject/... ./internal/journal/... ./internal/shard/... ./cmd/dcsd/...
 
 # Short fuzz of the crash/byte-level decoders: the transport wire reader, the
 # UDP datagram decoder, the journal recovery scanner, and the trace replay

@@ -6,7 +6,7 @@
 //
 // Experiments: fig7, fig11, fig12, fig13, table1, table2, table3, stress,
 // complexity, persistence, ablation-offsets, ablation-hopefuls,
-// ablation-sampling, ingest, shed, all.
+// ablation-sampling, ingest, shed, streaming, shards, all.
 // Scales: test (seconds), default (tens of seconds), paper (minutes).
 //
 // With -json the human tables are suppressed and a machine-readable
@@ -147,6 +147,18 @@ var runners = []runner{
 			p := experiments.StreamingParamsFor(seed, s)
 			p.Workers = workers
 			return experiments.RunStreaming(p)
+		})
+	}},
+	{"shards", func(seed uint64, s experiments.Scale, workers int) (fmt.Stringer, error) {
+		return wrap(func() (*experiments.ShardsResult, error) {
+			p := experiments.ShardsParamsFor(seed, s)
+			if workers != 0 {
+				// The default keeps per-span analysis serial so the scaling
+				// column isolates the shard fan-out; an explicit -workers
+				// overrides that for oversubscription studies.
+				p.Workers = workers
+			}
+			return experiments.RunShards(p)
 		})
 	}},
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dcstream/internal/metrics"
+	"dcstream/internal/shard"
+	"dcstream/internal/transport"
+)
+
+// coordinatorConfig carries the subset of dcsd's flags the coordinator mode
+// uses; the rest (journal, budgets, quorum) belong to the shards.
+type coordinatorConfig struct {
+	listen    string
+	udpListen string
+	window    time.Duration
+	idleConn  time.Duration
+	gate      transport.GateConfig
+	shards    int
+	slide     int
+	maxWait   int
+	httpAddr  string
+	events    string
+	logStats  bool
+	once      bool
+}
+
+// runCoordinator is dcsd's scatter/gather mode: it accepts the same digest
+// streams a center would, scatters each digest to every shard whose spans
+// need it, gathers the shards' report envelopes back over the same framed
+// transport, and emits one merged, epoch-ordered verdict stream — reporting
+// exactly as a single dcsd would have. A shard that dies or goes silent
+// degrades its spans (synthesized tombstones naming the missing routers)
+// instead of wedging or falsifying the merge.
+func runCoordinator(addrs []string, cfg coordinatorConfig) {
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if len(addrs) != cfg.shards {
+		log.Fatalf("-coordinator names %d shard addresses but -shards says %d; the partition is derived from -shards, so the deployment must agree", len(addrs), cfg.shards)
+	}
+	part := shard.Partition{Shards: cfg.shards, Slide: cfg.slide}
+	clients := make([]*transport.ReconnectingClient, len(addrs))
+	senders := make([]shard.Sender, len(addrs))
+	for i, a := range addrs {
+		clients[i] = transport.NewReconnectingClient(a, transport.ReconnectConfig{})
+		senders[i] = clients[i]
+	}
+	defer func() {
+		for i, c := range clients {
+			c.Flush(2 * time.Second)
+			if abandoned, err := c.Close(); err != nil {
+				log.Printf("shard %d (%s) close: %v (%d digests abandoned)", i, addrs[i], err, abandoned)
+			} else if abandoned > 0 {
+				log.Printf("shard %d (%s) close: %d digests abandoned in the reconnect buffer", i, addrs[i], abandoned)
+			}
+		}
+	}()
+	co := shard.NewCoordinator(part, senders)
+	reg := metrics.NewRegistry()
+	co.RegisterMetrics(reg)
+
+	var ev *eventLog
+	if cfg.events != "" {
+		var err error
+		ev, err = openEventLog(cfg.events)
+		if err != nil {
+			log.Fatalf("events: %v", err)
+		}
+		defer func() {
+			if err := ev.Close(); err != nil {
+				log.Printf("events: close: %v", err)
+			}
+		}()
+	}
+
+	// One handler for both listeners: digests scatter, report envelopes from
+	// the shards gather — Route forwards them itself.
+	handler := func(m transport.Message, _ net.Addr) { co.Route(m) }
+	srv, err := transport.ServeConfig(cfg.listen, handler, transport.ServerConfig{ReadTimeout: cfg.idleConn, Gate: cfg.gate})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Stats().Register(reg, "")
+	log.Printf("dcsd coordinator listening on %s, scattering over %d shards %v (window %v, slide %d)",
+		srv.Addr(), cfg.shards, addrs, cfg.window, cfg.slide)
+	fmt.Println(srv.Addr()) // machine-readable line for scripts
+
+	var usrv *transport.UDPServer
+	if cfg.udpListen != "" {
+		usrv, err = transport.ServeUDPConfig(cfg.udpListen, handler, transport.UDPServerConfig{Gate: cfg.gate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := usrv.Close(); err != nil {
+				log.Printf("udp close: %v", err)
+			}
+		}()
+		usrv.Stats().Register(reg, "dcs_transport_udp")
+		log.Printf("dcsd coordinator udp ingest on %s", usrv.Addr())
+		fmt.Println(usrv.Addr()) // machine-readable line for scripts
+	}
+
+	if cfg.httpAddr != "" {
+		hln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			log.Fatalf("http: %v", err)
+		}
+		hsrv := &http.Server{Handler: newHTTPHandler(reg, nil, httpDeps{tcp: srv, udp: usrv, co: co})}
+		go func() {
+			if err := hsrv.Serve(hln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("http: %v", err)
+			}
+		}()
+		defer hsrv.Close()
+		log.Printf("dcsd coordinator http endpoints on %s (/metrics /healthz /debug/pprof)", hln.Addr())
+	}
+
+	drain := func() {
+		for _, m := range co.TakeMerged() {
+			if m.Synthesized {
+				log.Printf("epoch %d SYNTHESIZED DEGRADED: shard %d (%s) never reported its span; routers %v unaccounted for",
+					m.Report.Epoch, m.Shard, addrs[m.Shard], m.Report.MissingRouters)
+			}
+			report(m.Report)
+			if ev != nil {
+				if err := ev.emit(m.Report, 0); err != nil {
+					log.Printf("events: epoch %d: %v", m.Report.Epoch, err)
+				}
+			}
+		}
+	}
+	logCoordStats := func() {
+		s := co.Stats()
+		log.Printf("coordinator: merged=%d synthesized=%d late-digests=%d dup-reports=%d bad-reports=%d unknown=%d",
+			s.Merged, s.Synthesized, s.LateDigests, s.DuplicateReports, s.BadReports, s.UnknownMessages)
+		for _, h := range co.Healths() {
+			state := h.DegradedCause
+			if state == "" {
+				state = "ok"
+			}
+			log.Printf("coordinator: shard %d (%s): %s; routed=%d send-errors=%d reports=%d expired=%d held=%d",
+				h.Shard, addrs[h.Shard], state, h.Routed, h.SendErrors, h.Reports, h.Expired, h.HeldEpochs)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(cfg.window)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// The liveness rule is epoch-driven, exactly like the centers'
+			// quorum MaxWait: a span's owner that has fallen -max-wait epochs
+			// behind the fleet will never report it, so give up and let the
+			// merge synthesize its tombstone rather than wedge forever.
+			if n := co.ExpireStale(cfg.maxWait); n > 0 {
+				log.Printf("coordinator: expired %d stale spans (fleet %d epochs past their owners)", n, cfg.maxWait)
+			}
+			drain()
+			if cfg.logStats {
+				logCoordStats()
+			}
+			if cfg.once {
+				co.ExpireStale(0)
+				drain()
+				return
+			}
+		case s := <-sig:
+			log.Printf("signal %v: draining merge and shutting down", s)
+			co.ExpireStale(0)
+			drain()
+			if cfg.logStats {
+				logCoordStats()
+			}
+			return
+		}
+	}
+}

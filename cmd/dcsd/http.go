@@ -8,6 +8,7 @@ import (
 	"dcstream/internal/center"
 	"dcstream/internal/journal"
 	"dcstream/internal/metrics"
+	"dcstream/internal/shard"
 	"dcstream/internal/transport"
 )
 
@@ -32,10 +33,28 @@ type journalHealth struct {
 	SegmentsQuarantined int `json:"segments_quarantined"`
 }
 
+// shardHealth is one shard's row of the coordinator's /healthz rollup, a
+// JSON rendering of the coordinator's health ledger.
+type shardHealth struct {
+	Shard int  `json:"shard"`
+	Dead  bool `json:"dead,omitempty"`
+	// DegradedCause is empty for a healthy shard, else the first applicable
+	// of "dead", "journal-degraded", "expired-spans", "send-errors".
+	DegradedCause   string `json:"degraded_cause,omitempty"`
+	Routed          int64  `json:"routed"`
+	SendErrors      int64  `json:"send_errors,omitempty"`
+	Reports         int64  `json:"reports"`
+	Expired         int64  `json:"expired,omitempty"`
+	LastRoutedEpoch *int   `json:"last_routed_epoch,omitempty"`
+	LastReportEpoch *int   `json:"last_report_epoch,omitempty"`
+	HeldEpochs      int    `json:"held_epochs,omitempty"`
+}
+
 // health is the /healthz payload. Status is "ok" while every subsystem holds
 // its guarantees and "degraded" while any is shedding them (journal appends
-// suspended) — still HTTP 200, because the daemon is up and honest about what
-// it is dropping; probes that page on degradation match on the status string.
+// suspended, a shard dead or silent) — still HTTP 200, because the daemon is
+// up and honest about what it is dropping; probes that page on degradation
+// match on the status string.
 type health struct {
 	Status string `json:"status"`
 	// BufferedBytes is the byte-accounted size of all buffered epoch
@@ -48,6 +67,9 @@ type health struct {
 	// admission gates (TCP and UDP merged).
 	QuarantinedSenders []string      `json:"quarantined_senders,omitempty"`
 	Epochs             []epochHealth `json:"epochs"`
+	// Shards is the coordinator's per-shard rollup; the whole payload goes
+	// degraded if any shard is.
+	Shards []shardHealth `json:"shards,omitempty"`
 }
 
 // httpDeps are the optional subsystems /healthz reports on; zero fields are
@@ -56,23 +78,26 @@ type httpDeps struct {
 	jr  *journal.Journal
 	tcp *transport.Server
 	udp *transport.UDPServer
+	co  *shard.Coordinator
 }
 
 // newHTTPHandler builds the -http endpoint surface: /metrics (Prometheus
 // text exposition of the registry), /healthz (quorum state per buffered
-// epoch plus journal/budget/quarantine degradation), and /debug/pprof (the
-// standard Go profiler handlers).
+// epoch plus journal/budget/quarantine degradation, and the per-shard rollup
+// in coordinator mode), and /debug/pprof (the standard Go profiler
+// handlers). The center is nil in coordinator mode — the coordinator has no
+// windows of its own to report.
 func newHTTPHandler(reg *metrics.Registry, c *center.Center, deps httpDeps) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		counts := c.EpochDigests()
-		cs := c.Stats().Snapshot()
 		h := health{
-			Status:        "ok",
-			BufferedBytes: c.BufferedBytes(),
-			ShedEpochs:    cs.ShedEpochs,
-			Epochs:        []epochHealth{},
+			Status: "ok",
+			Epochs: []epochHealth{},
+		}
+		if c != nil {
+			h.BufferedBytes = c.BufferedBytes()
+			h.ShedEpochs = c.Stats().Snapshot().ShedEpochs
 		}
 		if deps.jr != nil {
 			js := deps.jr.Stats()
@@ -95,15 +120,44 @@ func newHTTPHandler(reg *metrics.Registry, c *center.Center, deps httpDeps) http
 		if deps.udp != nil {
 			h.QuarantinedSenders = append(h.QuarantinedSenders, deps.udp.QuarantinedSenders()...)
 		}
-		for _, e := range c.Epochs() {
-			q := c.Quorum(e)
-			h.Epochs = append(h.Epochs, epochHealth{
-				Epoch:    e,
-				Digests:  counts[e],
-				Reported: q.Reported,
-				Missing:  q.Missing,
-				Held:     q.Hold,
-			})
+		if c != nil {
+			counts := c.EpochDigests()
+			for _, e := range c.Epochs() {
+				q := c.Quorum(e)
+				h.Epochs = append(h.Epochs, epochHealth{
+					Epoch:    e,
+					Digests:  counts[e],
+					Reported: q.Reported,
+					Missing:  q.Missing,
+					Held:     q.Hold,
+				})
+			}
+		}
+		if deps.co != nil {
+			for _, sh := range deps.co.Healths() {
+				row := shardHealth{
+					Shard:         sh.Shard,
+					Dead:          sh.Dead,
+					DegradedCause: sh.DegradedCause,
+					Routed:        sh.Routed,
+					SendErrors:    sh.SendErrors,
+					Reports:       sh.Reports,
+					Expired:       sh.Expired,
+					HeldEpochs:    sh.HeldEpochs,
+				}
+				if sh.HasRouted {
+					e := sh.LastRoutedEpoch
+					row.LastRoutedEpoch = &e
+				}
+				if sh.HasReport {
+					e := sh.LastReportEpoch
+					row.LastReportEpoch = &e
+				}
+				if sh.DegradedCause != "" {
+					h.Status = "degraded"
+				}
+				h.Shards = append(h.Shards, row)
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		// An encode error here means the probe hung up mid-response; there

@@ -13,6 +13,7 @@ import (
 	"dcstream/internal/faultinject/fsfault"
 	"dcstream/internal/journal"
 	"dcstream/internal/metrics"
+	"dcstream/internal/shard"
 	"dcstream/internal/transport"
 )
 
@@ -140,5 +141,58 @@ func TestHealthzReportsDegradation(t *testing.T) {
 	}
 	if h.ShedEpochs != 1 || h.BufferedBytes <= 0 {
 		t.Fatalf("healthz shed_epochs=%d buffered_bytes=%d, want 1 shed and positive buffered", h.ShedEpochs, h.BufferedBytes)
+	}
+}
+
+// nullSender satisfies shard.Sender for the coordinator healthz test.
+type nullSender struct{}
+
+func (nullSender) Send(transport.Message) error { return nil }
+
+// TestHealthzShardRollup: in coordinator mode (nil center) /healthz carries
+// one row per shard from the health ledger, and a single dead shard flips
+// the whole payload to degraded.
+func TestHealthzShardRollup(t *testing.T) {
+	co := shard.NewCoordinator(shard.Partition{Shards: 2}, []shard.Sender{nullSender{}, nullSender{}})
+	co.Route(transport.AlignedDigest{RouterID: 1, Epoch: 3, Bitmap: testBitmap(1)})
+	ts := httptest.NewServer(newHTTPHandler(metrics.NewRegistry(), nil, httpDeps{co: co}))
+	defer ts.Close()
+
+	get := func() health {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h health
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := get()
+	if h.Status != "ok" || len(h.Shards) != 2 {
+		t.Fatalf("healthz = %+v, want status ok with 2 shard rows", h)
+	}
+	routed := shard.Partition{Shards: 2}.Owner(3)
+	row := h.Shards[routed]
+	if row.Routed != 1 || row.LastRoutedEpoch == nil || *row.LastRoutedEpoch != 3 {
+		t.Fatalf("owner shard row = %+v, want 1 routed with last epoch 3", row)
+	}
+	if other := h.Shards[1-routed]; other.Routed != 0 || other.LastRoutedEpoch != nil {
+		t.Fatalf("idle shard row = %+v, want nothing routed", other)
+	}
+
+	co.MarkDead(1 - routed)
+	h = get()
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status %q with a dead shard, want degraded", h.Status)
+	}
+	dead := h.Shards[1-routed]
+	if !dead.Dead || dead.DegradedCause != "dead" {
+		t.Fatalf("dead shard row = %+v, want Dead with cause dead", dead)
 	}
 }

@@ -64,6 +64,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -71,6 +73,7 @@ import (
 	"dcstream/internal/center"
 	"dcstream/internal/journal"
 	"dcstream/internal/metrics"
+	"dcstream/internal/shard"
 	"dcstream/internal/transport"
 )
 
@@ -110,15 +113,54 @@ func report(rep center.WindowReport) {
 	}
 }
 
+// shardPush is the shard-mode report uplink: every report the shard produces
+// is also encoded as an envelope — report plus the shard's own health facts —
+// and pushed to the coordinator over a reconnecting client, so a coordinator
+// restart loses nothing the buffer can hold.
+type shardPush struct {
+	client *transport.ReconnectingClient
+	shard  int
+	c      *center.Center
+	jr     *journal.Journal
+}
+
+func (p *shardPush) emit(rep center.WindowReport) {
+	held := 0
+	for _, e := range p.c.Epochs() {
+		if p.c.Quorum(e).Hold {
+			held++
+		}
+	}
+	frame, err := shard.EncodeReport(shard.Envelope{
+		Shard:           p.shard,
+		JournalDegraded: p.jr != nil && p.jr.Degraded(),
+		HeldEpochs:      held,
+		Report:          rep,
+	})
+	if err != nil {
+		log.Printf("shard push: epoch %d: %v", rep.Epoch, err)
+		return
+	}
+	if err := p.client.Send(frame); err != nil {
+		// The client buffers across outages; an error here means the buffer
+		// is gone too. The coordinator's expiry will degrade the span.
+		log.Printf("shard push: epoch %d: %v", rep.Epoch, err)
+	}
+}
+
 // finish reports one analyzed window (to the log and, when -events is set,
-// the event log) and, when journaling, marks its epoch analyzed so the
-// journal can rotate and purge its frames.
-func finish(jr *journal.Journal, ev *eventLog, rep center.WindowReport, wall time.Duration) {
+// the event log), pushes it to the coordinator in shard mode, and, when
+// journaling, marks its epoch analyzed so the journal can rotate and purge
+// its frames.
+func finish(jr *journal.Journal, ev *eventLog, push *shardPush, rep center.WindowReport, wall time.Duration) {
 	report(rep)
 	if ev != nil {
 		if err := ev.emit(rep, wall); err != nil {
 			log.Printf("events: epoch %d: %v", rep.Epoch, err)
 		}
+	}
+	if push != nil {
+		push.emit(rep)
 	}
 	if jr != nil {
 		// Only retired epochs may forget their journal frames: under -slide a
@@ -136,29 +178,34 @@ func finish(jr *journal.Journal, ev *eventLog, rep center.WindowReport, wall tim
 	}
 }
 
-func analyzeEpoch(c *center.Center, jr *journal.Journal, ev *eventLog, epoch int) {
+func analyzeEpoch(c *center.Center, jr *journal.Journal, ev *eventLog, push *shardPush, epoch int) {
 	start := time.Now()
 	rep, err := c.Analyze(epoch)
+	if errors.Is(err, center.ErrNotOwned) {
+		// A context epoch whose span belongs to another shard: its digests
+		// served their purpose in spans this shard did own.
+		return
+	}
 	if err != nil {
 		log.Printf("epoch %d analysis: %v", epoch, err)
 		return
 	}
-	finish(jr, ev, rep, time.Since(start))
+	finish(jr, ev, push, rep, time.Since(start))
 }
 
 // drainShed forwards the tombstone reports of epochs shed under the memory
 // budget: logged, emitted as -events records, and marked analyzed in the
 // journal so their frames are purged rather than replayed into a window that
 // no longer exists.
-func drainShed(c *center.Center, jr *journal.Journal, ev *eventLog) {
+func drainShed(c *center.Center, jr *journal.Journal, ev *eventLog, push *shardPush) {
 	for _, rep := range c.TakeShedReports() {
-		finish(jr, ev, rep, 0)
+		finish(jr, ev, push, rep, 0)
 	}
 }
 
 // drainComplete analyzes every epoch already superseded by a newer one (and
 // not held open by the quorum gate).
-func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog) {
+func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog, push *shardPush) {
 	for {
 		start := time.Now()
 		rep, err := c.AnalyzeLatestComplete()
@@ -168,7 +215,7 @@ func drainComplete(c *center.Center, jr *journal.Journal, ev *eventLog) {
 			}
 			return
 		}
-		finish(jr, ev, rep, time.Since(start))
+		finish(jr, ev, push, rep, time.Since(start))
 	}
 }
 
@@ -212,6 +259,9 @@ func main() {
 		memBudget   = flag.Int64("mem-budget", 0, "byte budget across buffered epoch windows (0 = unlimited)")
 		shedPolicy  = flag.String("shed-policy", "oldest", `sacrifice when -mem-budget is exhausted: "oldest" sheds whole old epochs, "reject" refuses new digests`)
 		rateLimit   = flag.Float64("rate-limit", 0, "per-sender admission rate, frames (TCP) or datagrams (UDP) per second; offenders are quarantined (0 = off)")
+		shards      = flag.Int("shards", 1, "total shard count N of a sharded deployment; the span-to-shard partition is derived from this and -slide")
+		shardOf     = flag.Int("shard-of", -1, "run as shard I (0-based) of -shards: ingest only owned epochs, report only owned spans, and push report envelopes to -coordinator (-1 = un-sharded)")
+		coordinator = flag.String("coordinator", "", "with -shard-of: coordinator address to push report envelopes to; without: run as the coordinator, scattering over this comma-separated list of shard ingest addresses")
 	)
 	flag.Parse()
 
@@ -238,6 +288,35 @@ func main() {
 		gate = transport.GateConfig{Rate: *rateLimit, MaxStrikes: 8, Cooldown: 30 * time.Second}
 	}
 
+	if *coordinator != "" && *shardOf < 0 {
+		// Coordinator mode: no center of its own — scatter, gather, merge.
+		runCoordinator(strings.Split(*coordinator, ","), coordinatorConfig{
+			listen:    *listen,
+			udpListen: *udpListen,
+			window:    *window,
+			idleConn:  *idleConn,
+			gate:      gate,
+			shards:    *shards,
+			slide:     *slide,
+			maxWait:   *maxWait,
+			httpAddr:  *httpAddr,
+			events:    *eventsPath,
+			logStats:  *stats,
+			once:      *once,
+		})
+		return
+	}
+	var ownsEpoch, ownsSpan func(int) bool
+	if *shardOf >= 0 {
+		if *shardOf >= *shards {
+			log.Fatalf("-shard-of %d out of range for -shards %d", *shardOf, *shards)
+		}
+		// A 1-shard deployment derives always-true predicates and behaves
+		// bit-identically to a plain un-sharded dcsd.
+		part := shard.Partition{Shards: *shards, Slide: *slide}
+		ownsEpoch, ownsSpan = part.OwnsEpoch(*shardOf), part.OwnsSpan(*shardOf)
+	}
+
 	c := center.New(center.Config{
 		SubsetSize:         *subset,
 		ComponentThreshold: *threshold,
@@ -251,6 +330,8 @@ func main() {
 		MaxWait:            *maxWait,
 		MemoryBudgetBytes:  *memBudget,
 		Shedding:           shedding,
+		OwnsEpoch:          ownsEpoch,
+		OwnsSpan:           ownsSpan,
 	})
 
 	reg := metrics.NewRegistry()
@@ -273,8 +354,14 @@ func main() {
 
 	var jr *journal.Journal
 	if *journalDir != "" {
+		jdir := *journalDir
+		if *shardOf >= 0 {
+			// Shards never share a write-ahead log: each gets its own
+			// directory so restarts, replays, and purges stay independent.
+			jdir = filepath.Join(jdir, fmt.Sprintf("shard-%d", *shardOf))
+		}
 		var err error
-		jr, err = journal.Open(*journalDir, journal.Options{SyncEveryAppend: *journalSync})
+		jr, err = journal.Open(jdir, journal.Options{SyncEveryAppend: *journalSync})
 		if err != nil {
 			log.Fatalf("journal: %v", err)
 		}
@@ -289,9 +376,26 @@ func main() {
 		}
 		if s := jr.Stats(); s.FramesReplayed > 0 || s.TailsTruncated > 0 {
 			log.Printf("journal: recovered %d digests (%d already-analyzed skipped, %d torn tails truncated) from %s",
-				s.FramesReplayed, s.FramesSkipped, s.TailsTruncated, *journalDir)
+				s.FramesReplayed, s.FramesSkipped, s.TailsTruncated, jdir)
 		}
 		jr.RegisterMetrics(reg)
+	}
+
+	var push *shardPush
+	if *shardOf >= 0 && *coordinator != "" {
+		pc := transport.NewReconnectingClient(*coordinator, transport.ReconnectConfig{})
+		defer func() {
+			pc.Flush(2 * time.Second)
+			if abandoned, err := pc.Close(); err != nil {
+				log.Printf("coordinator push close: %v (%d reports abandoned)", err, abandoned)
+			} else if abandoned > 0 {
+				log.Printf("coordinator push close: %d reports abandoned in the reconnect buffer", abandoned)
+			}
+		}()
+		push = &shardPush{client: pc, shard: *shardOf, c: c, jr: jr}
+		log.Printf("dcsd running as shard %d of %d, reporting to coordinator %s", *shardOf, *shards, *coordinator)
+	} else if *shardOf >= 0 {
+		log.Printf("dcsd running as shard %d of %d (no -coordinator: reports stay local)", *shardOf, *shards)
 	}
 
 	// One ingest handler shared by both listeners: journal first, then the
@@ -366,10 +470,10 @@ func main() {
 	}
 
 	drainAll := func() {
-		drainShed(c, jr, ev)
-		drainComplete(c, jr, ev)
+		drainShed(c, jr, ev, push)
+		drainComplete(c, jr, ev, push)
 		for _, e := range c.Epochs() {
-			analyzeEpoch(c, jr, ev, e)
+			analyzeEpoch(c, jr, ev, push, e)
 		}
 	}
 
@@ -389,8 +493,8 @@ func main() {
 			// veto a quiescence close for up to -max-wait ticks — a fleet
 			// that stopped advancing epochs would otherwise never satisfy
 			// the gate's own epoch-based bound.
-			drainShed(c, jr, ev)
-			drainComplete(c, jr, ev)
+			drainShed(c, jr, ev, push)
+			drainComplete(c, jr, ev, push)
 			counts := c.EpochDigests()
 			for e, n := range counts {
 				if prev[e] != n {
@@ -405,7 +509,7 @@ func main() {
 					}
 					log.Printf("epoch %d exhausted quorum wait; analyzing degraded", e)
 				}
-				analyzeEpoch(c, jr, ev, e)
+				analyzeEpoch(c, jr, ev, push, e)
 				delete(counts, e)
 				delete(heldTicks, e)
 			}

@@ -48,6 +48,12 @@ var ErrNoWindow = errors.New("center: no such epoch window")
 // newest epoch seen so far, which may still be filling.
 var ErrNoCompleteEpoch = errors.New("center: no complete epoch buffered")
 
+// ErrNotOwned reports an Analyze call for a span this center does not own
+// under its OwnsSpan partition predicate: the span's verdict is another
+// shard's to emit, and this center holds the epoch's digests only as
+// sliding-window context.
+var ErrNotOwned = errors.New("center: span not owned by this shard")
+
 // Config tunes the per-window analysis and the epoch ring.
 type Config struct {
 	// SubsetSize is the aligned detector's n′. Zero means 512.
@@ -116,6 +122,20 @@ type Config struct {
 	// also the liveness horizon — a router counts as live for epoch e when
 	// it has reported into epoch e-MaxWait or newer. Zero means 2.
 	MaxWait int
+	// OwnsEpoch, when non-nil, is the shard partition predicate over ingest:
+	// a digest whose epoch fails it is counted MisroutedDigests and dropped
+	// before it touches any window — in a sharded deployment the coordinator
+	// routes each epoch's digests to the shards whose spans need them, so a
+	// failing digest here is a routing bug, not data this shard should
+	// absorb. Nil accepts every epoch (the single-center deployment).
+	OwnsEpoch func(epoch int) bool
+	// OwnsSpan, when non-nil, restricts which spans this center may close
+	// and report: AnalyzeLatestComplete skips epochs failing it, and Analyze
+	// returns ErrNotOwned for them. In sliding mode a shard buffers context
+	// epochs for spans owned elsewhere (OwnsEpoch admits them); OwnsSpan is
+	// what keeps it from also emitting those spans' verdicts, which would
+	// duplicate another shard's report. Nil owns every span.
+	OwnsSpan func(epoch int) bool
 	// Stats, when non-nil, receives the center's counters; several centers
 	// may share one. Nil allocates a private Stats.
 	Stats *Stats
@@ -432,6 +452,13 @@ func (c *Center) Ingest(m transport.Message) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cfg.OwnsEpoch != nil && !c.cfg.OwnsEpoch(epoch) {
+		// Misrouted past the shard partition: counted and dropped whole, with
+		// no registry side effects — this shard's quorum must reason only
+		// about the traffic the coordinator actually routes to it.
+		c.cfg.Stats.MisroutedDigests.Add(1)
+		return
+	}
 	if last, ok := c.lastSeen[router]; !ok || epoch > last {
 		c.lastSeen[router] = epoch
 	}
@@ -573,16 +600,10 @@ func (c *Center) windowFor(epoch int) *window {
 			// panic — or spin, if the bound ever went non-positive.
 			break
 		}
-		// Prefer evicting the oldest epoch the quorum gate is not holding
-		// open; only when every buffered epoch is held does the overall
-		// oldest go (MaxWait bounds how long that can happen).
-		oldest, victim := -1, -1
+		oldest := -1
 		for e := range c.windows {
 			if oldest < 0 || e < oldest {
 				oldest = e
-			}
-			if !c.quorumLocked(e).Hold && (victim < 0 || e < victim) {
-				victim = e
 			}
 		}
 		if oldest >= epoch {
@@ -590,9 +611,7 @@ func (c *Center) windowFor(epoch int) *window {
 			// is full: it is effectively late.
 			return nil
 		}
-		if victim < 0 {
-			victim = oldest
-		}
+		victim := c.victimLocked(epoch)
 		c.cfg.Stats.DroppedDigests.Add(int64(c.windows[victim].digests()))
 		c.cfg.Stats.EpochsEvicted.Add(1)
 		c.releaseLocked(victim, c.windows[victim])
@@ -610,6 +629,39 @@ func (c *Center) windowFor(epoch int) *window {
 	w := c.newWindowLocked()
 	c.windows[epoch] = w
 	return w
+}
+
+// victimLocked picks which buffered epoch gives way under pressure. Ring
+// eviction (windowFor) and memory shedding (admitLocked,
+// enforceBudgetLocked) all share this one ordering, so an epoch that is
+// simultaneously a quorum hold and a shed candidate can never be chosen by
+// one path and spared by the other — which is what keeps the per-epoch
+// ledger (buffered + shed + dropped = ingested) coherent. The pinned rule:
+// the oldest epoch the quorum gate is not holding open goes first; only when
+// every candidate is held does the overall oldest go — memory pressure still
+// outranks the gate (a refused shed would OOM or starve newer epochs, and a
+// shed window is at least honestly reported), but it spends non-held windows
+// before breaking a hold, and MaxWait bounds how long the all-held case can
+// last. exclude shields one epoch (the window the triggering digest is being
+// filed into — shedding it would charge the digest to a window that no
+// longer exists). Returns -1 when nothing is eligible. Caller holds c.mu.
+func (c *Center) victimLocked(exclude int) int {
+	oldest, victim := -1, -1
+	for e := range c.windows {
+		if e == exclude {
+			continue
+		}
+		if oldest < 0 || e < oldest {
+			oldest = e
+		}
+		if !c.quorumLocked(e).Hold && (victim < 0 || e < victim) {
+			victim = e
+		}
+	}
+	if victim < 0 {
+		victim = oldest
+	}
+	return victim
 }
 
 // raiseFloor closes every epoch up to e and prunes tombstones the new floor
@@ -774,6 +826,10 @@ func (c *Center) Analyze(epoch int) (WindowReport, error) {
 		c.mu.Unlock()
 		return rep, nil
 	}
+	if c.cfg.OwnsSpan != nil && !c.cfg.OwnsSpan(epoch) {
+		c.mu.Unlock()
+		return WindowReport{Epoch: epoch}, ErrNotOwned
+	}
 	snap, err := c.closeSpanLocked(epoch)
 	c.mu.Unlock()
 	if err != nil {
@@ -798,6 +854,9 @@ func (c *Center) AnalyzeLatestComplete() (WindowReport, error) {
 	best, found := 0, false
 	for e := range c.windows {
 		if e >= c.maxSeen || c.quorumLocked(e).Hold {
+			continue
+		}
+		if c.cfg.OwnsSpan != nil && !c.cfg.OwnsSpan(e) {
 			continue
 		}
 		if sliding && c.spanClosedValid && e <= c.spanClosed {

@@ -1,0 +1,35 @@
+package center
+
+// BetterReport reports whether a should win over b when two WindowReports
+// claim the same epoch — a shard re-pushing after a journal replay, a
+// tombstone racing the real analysis, or two coordinator generations seeing
+// one span. The order is a deliberate total preference over report quality,
+// pinned here so every merge path (the shard coordinator, any future
+// aggregator) resolves duplicates identically:
+//
+//  1. an analyzed report beats a shed tombstone (the tombstone carries no
+//     outcome at all);
+//  2. a non-degraded report beats a degraded one (it closed with the full
+//     picture);
+//  3. more reporting routers beats fewer (a later, more complete close);
+//  4. fewer rejected digests beats more (less of the window was refused);
+//  5. otherwise the incumbent stands — ties never reorder, so feeding
+//     reports in arrival order is deterministic.
+//
+// BetterReport(a, b) strictly false for equal reports, so callers keep the
+// first arrival on a tie.
+func BetterReport(a, b WindowReport) bool {
+	if a.Shed != b.Shed {
+		return !a.Shed
+	}
+	if a.Degraded != b.Degraded {
+		return !a.Degraded
+	}
+	if a.Routers != b.Routers {
+		return a.Routers > b.Routers
+	}
+	if a.RejectedDigests != b.RejectedDigests {
+		return a.RejectedDigests < b.RejectedDigests
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package center
+
+import "testing"
+
+// TestBetterReportOrder pins the duplicate-resolution total order every
+// merge path shares: analyzed beats shed, complete beats degraded, more
+// routers beats fewer, fewer rejections beats more, and exact ties keep the
+// incumbent (never reorder).
+func TestBetterReportOrder(t *testing.T) {
+	clean := WindowReport{Epoch: 7, Routers: 4}
+	cases := []struct {
+		name string
+		a, b WindowReport
+		want bool
+	}{
+		{"AnalyzedBeatsShed", clean, WindowReport{Epoch: 7, Routers: 4, Degraded: true, Shed: true}, true},
+		{"ShedLosesToAnalyzed", WindowReport{Epoch: 7, Routers: 4, Degraded: true, Shed: true}, clean, false},
+		{"CompleteBeatsDegraded", clean, WindowReport{Epoch: 7, Routers: 4, Degraded: true}, true},
+		{"DegradedShedStillBeatsShedWithFewerRouters",
+			WindowReport{Epoch: 7, Routers: 5, Degraded: true, Shed: true},
+			WindowReport{Epoch: 7, Routers: 2, Degraded: true, Shed: true}, true},
+		{"MoreRoutersWins", WindowReport{Epoch: 7, Routers: 5}, clean, true},
+		{"FewerRoutersLoses", WindowReport{Epoch: 7, Routers: 3}, clean, false},
+		{"FewerRejectionsWins", clean, WindowReport{Epoch: 7, Routers: 4, RejectedDigests: 2}, true},
+		{"ExactTieKeepsIncumbent", clean, clean, false},
+		{"DegradedOutranksRouterCount",
+			WindowReport{Epoch: 7, Routers: 2},
+			WindowReport{Epoch: 7, Routers: 9, Degraded: true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := BetterReport(tc.a, tc.b); got != tc.want {
+				t.Fatalf("BetterReport(%+v, %+v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}

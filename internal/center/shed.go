@@ -106,20 +106,16 @@ func (c *Center) admitLocked(epoch int, need int64) bool {
 		return false
 	}
 	for c.bufferedBytes+need > c.cfg.MemoryBudgetBytes {
-		// Memory pressure outranks the quorum gate: a held window sheds
-		// like any other, because refusing would either OOM or silently
-		// starve newer epochs — and a shed window is honestly reported, a
-		// wedged center reports nothing.
-		oldest := -1
-		for e := range c.windows {
-			if e != epoch && (oldest < 0 || e < oldest) {
-				oldest = e
-			}
-		}
-		if oldest < 0 {
+		// victimLocked pins the same victim ordering ring eviction uses —
+		// non-held epochs go before quorum-held ones, but memory pressure
+		// still breaks a hold when nothing else remains: refusing would
+		// either OOM or silently starve newer epochs, and a shed window is
+		// honestly reported while a wedged center reports nothing.
+		victim := c.victimLocked(epoch)
+		if victim < 0 {
 			return false
 		}
-		c.shedLocked(oldest)
+		c.shedLocked(victim)
 	}
 	return true
 }

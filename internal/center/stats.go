@@ -42,6 +42,11 @@ type Stats struct {
 	// UnknownMessages counts wire messages of a kind this center does not
 	// understand (forward compatibility: ignored, not fatal).
 	UnknownMessages metrics.Counter
+	// MisroutedDigests counts digests dropped because their epoch fails the
+	// OwnsEpoch partition predicate — digests a shard coordinator should
+	// never have routed here. Always 0 outside sharded deployments; any
+	// other value is a routing bug or a misconfigured client.
+	MisroutedDigests metrics.Counter
 	// EpochsAnalyzed and EpochsEvicted count window lifecycle endings.
 	EpochsAnalyzed metrics.Counter
 	EpochsEvicted  metrics.Counter
@@ -94,6 +99,8 @@ func (s *Stats) Register(r *metrics.Registry) {
 		"digests refused at admission by a RejectNew memory budget", &s.RejectedDigests)
 	r.RegisterCounter("dcs_center_messages_unknown_total",
 		"wire messages of an unknown kind (ignored)", &s.UnknownMessages)
+	r.RegisterCounter("dcs_center_digests_misrouted_total",
+		"digests dropped because their epoch fails the shard partition predicate", &s.MisroutedDigests)
 	r.RegisterCounter("dcs_center_epochs_analyzed_total",
 		"epoch windows closed by analysis", &s.EpochsAnalyzed)
 	r.RegisterCounter("dcs_center_epochs_evicted_total",
@@ -109,7 +116,7 @@ func (s *Stats) Register(r *metrics.Registry) {
 // Snapshot is a plain-int copy of Stats, safe to compare and print.
 type Snapshot struct {
 	DigestsIngested, LateDigests, DuplicateDigests, ReplacedDigests int64
-	DroppedDigests, UnknownMessages                                 int64
+	DroppedDigests, UnknownMessages, MisroutedDigests               int64
 	ShedDigests, ShedEpochs, RejectedDigests                        int64
 	EpochsAnalyzed, EpochsEvicted, DegradedEpochs                   int64
 }
@@ -124,6 +131,7 @@ func (s *Stats) Snapshot() Snapshot {
 		ReplacedDigests:  s.ReplacedDigests.Load(),
 		DroppedDigests:   s.DroppedDigests.Load(),
 		UnknownMessages:  s.UnknownMessages.Load(),
+		MisroutedDigests: s.MisroutedDigests.Load(),
 		ShedDigests:      s.ShedDigests.Load(),
 		ShedEpochs:       s.ShedEpochs.Load(),
 		RejectedDigests:  s.RejectedDigests.Load(),

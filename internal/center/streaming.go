@@ -436,15 +436,10 @@ func (c *Center) enforceBudgetLocked(epoch int) {
 		return
 	}
 	for c.bufferedBytes > c.cfg.MemoryBudgetBytes {
-		oldest := -1
-		for e := range c.windows {
-			if e != epoch && (oldest < 0 || e < oldest) {
-				oldest = e
-			}
-		}
-		if oldest < 0 {
+		victim := c.victimLocked(epoch)
+		if victim < 0 {
 			return
 		}
-		c.shedLocked(oldest)
+		c.shedLocked(victim)
 	}
 }

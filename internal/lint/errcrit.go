@@ -15,8 +15,11 @@ import (
 // counters as the truth. traceio and packet joined in PR 8: a trace capture
 // whose Write/Flush error vanishes produces a short .dct file that replays as
 // a quieter network than the one measured, and packet's serialization path
-// feeds both of them.
-var errcritPkgs = []string{"journal", "transport", "center", "metrics", "traceio", "packet"}
+// feeds both of them. shard joined with the scatter/gather tier: a dropped
+// scatter Send or report-push error silently turns a routed digest into a
+// missing one — the coordinator would then merge a verdict that looks
+// healthy but never saw the data.
+var errcritPkgs = []string{"journal", "transport", "center", "metrics", "traceio", "packet", "shard"}
 
 // errcritMethods are the write-path method names whose error result must not
 // be discarded inside the scoped packages: writes, syncs, deadline arming,

@@ -65,6 +65,9 @@ func TestGoldenErrcrit(t *testing.T) {
 	// packet serialization write paths.
 	runGolden(t, "errcrit/traceio", "errcrit")
 	runGolden(t, "errcrit/packet", "errcrit")
+	// shard pins the scatter/gather tier's scope entry: coordinator scatter
+	// writes, report-push closes, and the simulated-crash carve-out.
+	runGolden(t, "errcrit/shard", "errcrit")
 }
 
 func TestGoldenWiretaint(t *testing.T) {

@@ -126,6 +126,57 @@ var incrementalStateFiles = map[string][]string{
 	"dcstream/internal/center":    {"streaming.go"},
 }
 
+// shardCriticalFiles are the scatter/gather tier's write-path files. The
+// coordinator's scatter sends and the cluster's report pushes are exactly the
+// writes whose dropped errors turn routed digests into silently missing ones,
+// so internal/shard must stay inside the errcrit scope and inside the lint
+// load — this test fails on a scope-list edit or package rename that would
+// drop it out.
+var shardCriticalFiles = map[string][]string{
+	"dcstream/internal/shard": {"coordinator.go", "cluster.go", "report.go"},
+}
+
+// TestErrcritCoversShardTier pins the shard package into the errcrit scope.
+func TestErrcritCoversShardTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	if !segmentIn("shard", errcritPkgs) {
+		t.Error("errcrit scope lost \"shard\"; dropped scatter/report-push write errors would go unlinted")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := map[string][]string{}
+	for k, v := range shardCriticalFiles {
+		remaining[k] = v
+	}
+	for _, pkg := range pkgs {
+		want := remaining[pkg.Path]
+		if want == nil {
+			continue
+		}
+		have := map[string]bool{}
+		for _, f := range pkg.Files {
+			have[filepath.Base(pkg.Fset.File(f.Pos()).Name())] = true
+		}
+		for _, name := range want {
+			if !have[name] {
+				t.Errorf("%s: %s not in the lint load; the shard write path is not being linted", pkg.Path, name)
+			}
+		}
+		delete(remaining, pkg.Path)
+	}
+	for path := range remaining {
+		t.Errorf("package %s not loaded at all", path)
+	}
+}
+
 // TestDeterminismRulesCoverIncrementalState pins the accumulator files into
 // the dcslint scope: a rename, a package split, or a scope-list edit that
 // silently dropped the incremental state out of the determinism rules would

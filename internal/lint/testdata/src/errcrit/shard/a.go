@@ -1,0 +1,49 @@
+// Package shard exercises the errcrit rule's scatter/gather coverage (the
+// "shard" path segment entered scope with the sharded analysis tier): the
+// coordinator's scatter path and the shards' report-push path both write to
+// live sockets, and a dropped write or close error there silently converts a
+// routed digest into a missing one — the merged verdict then looks healthy
+// while a shard never saw its data.
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// deadline is a fixed zero deadline; the corpus never reads the clock.
+var deadline time.Time
+
+// scatter drops the wire-write error: the digest is counted routed but may
+// never have left the process.
+func scatter(conn net.Conn, frame []byte) {
+	conn.Write(frame)               // want `errcrit: error from conn\.Write discarded`
+	conn.SetWriteDeadline(deadline) // want `errcrit: error from conn\.SetWriteDeadline discarded`
+}
+
+// teardown drops the close error — the last chance to learn a buffered
+// report push never reached the coordinator.
+func teardown(push io.Closer) {
+	push.Close() // want `errcrit: error from push\.Close discarded`
+}
+
+// checked is the approved shape: every write error is observed and
+// propagated into the shard health ledger by the caller.
+func checked(conn net.Conn, frame []byte) error {
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("scatter: %w", err)
+	}
+	if err := conn.Close(); err != nil {
+		return fmt.Errorf("scatter close: %w", err)
+	}
+	return nil
+}
+
+// crashed is the documented carve-out: simulated-crash teardown in the chaos
+// harness closes sockets whose errors are the point of the exercise.
+func crashed(srv io.Closer) {
+	//dcslint:ignore errcrit simulated crash teardown; the socket dying messily is the scenario
+	srv.Close()
+}

@@ -335,6 +335,17 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.add(&entry{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
 }
 
+// InstanceName splices an instance index into a namespaced metric name:
+// InstanceName("dcs_shard", 2, "reports_total") is
+// "dcs_shard_2_reports_total". The registry deliberately has no label
+// support — exposition stays allocation-free and a name is greppable as a
+// literal — so multi-instance subsystems (a coordinator fronting N shards)
+// distinguish instances in the name itself; the result stays inside the
+// Prometheus name grammar for any non-negative index.
+func InstanceName(ns string, instance int, name string) string {
+	return fmt.Sprintf("%s_%d_%s", ns, instance, name)
+}
+
 // Histogram registers a histogram with the given bucket upper bounds (nil
 // means DefBuckets). When the name is already registered, the existing
 // histogram is returned and buckets is ignored (bounds are fixed at first

@@ -1,0 +1,382 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcstream/internal/center"
+	"dcstream/internal/journal"
+	"dcstream/internal/transport"
+)
+
+// ClusterConfig configures an in-process shard cluster: N shard centers
+// behind real TCP transports plus a coordinator wired to all of them. Tests
+// and the dcsbench shards experiment use it to exercise the whole
+// scatter/gather path — framing, JSON envelopes, per-shard journals —
+// without N OS processes.
+type ClusterConfig struct {
+	// Shards is the shard count; values below 1 behave as 1.
+	Shards int
+	// Center is the per-shard center configuration. The cluster installs
+	// each shard's OwnsEpoch/OwnsSpan partition predicates and gives every
+	// shard a private Stats; everything else applies verbatim to all
+	// shards, so a 1-shard cluster runs exactly the single-center config.
+	Center center.Config
+	// JournalDir, when non-empty, gives each shard a crash journal in
+	// <JournalDir>/shard-<i>. A journal already holding frames is replayed
+	// into the shard's center before the cluster starts serving — the same
+	// replay-before-listen rule cmd/dcsd follows.
+	JournalDir string
+	// JournalSync enables fsync-per-append on the shard journals.
+	JournalSync bool
+}
+
+// clusterShard is one shard's in-process incarnation.
+type clusterShard struct {
+	index  int
+	center *center.Center
+	srv    *transport.Server
+	jr     *journal.Journal // nil without JournalDir
+	push   *transport.Client
+	// processed counts digests the shard's ingest handler has fully filed —
+	// the exact quiescence ledger Quiesce compares against the
+	// coordinator's routed counts.
+	processed atomic.Int64
+	// appendErrs counts journal appends that failed (the journal is then
+	// degraded and says so in every report envelope).
+	appendErrs atomic.Int64
+	alive      bool // protected by Cluster.mu, which owns every shard's flag
+}
+
+// Cluster is a running in-process shard deployment.
+type Cluster struct {
+	part   Partition
+	co     *Coordinator
+	sink   *transport.Server // coordinator's report listener
+	shards []*clusterShard
+
+	mu sync.Mutex // guards the shards' alive flags
+}
+
+// NewCluster builds and starts a cluster: per-shard centers and TCP
+// servers, a coordinator report sink, and a coordinator holding one TCP
+// client per shard. Call Close when done.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	slide := cfg.Center.WindowSlide
+	cl := &Cluster{part: Partition{Shards: cfg.Shards, Slide: slide}.withDefaults()}
+
+	// The report sink must exist before the coordinator, and the
+	// coordinator before the shards can push to it; the sink handler only
+	// touches co through the pointer, which is set before Serve can deliver
+	// (the shards have not dialed yet).
+	var co *Coordinator
+	sink, err := transport.Serve("127.0.0.1:0", func(m transport.Message, _ net.Addr) {
+		if r, ok := m.(transport.Report); ok {
+			co.Gather(r)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: starting report sink: %w", err)
+	}
+	cl.sink = sink
+
+	senders := make([]Sender, cfg.Shards)
+	fail := func(err error) (*Cluster, error) {
+		closeErr := cl.Close()
+		_ = closeErr // the constructor error is the one worth reporting
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &clusterShard{index: i, alive: true}
+		ccfg := cfg.Center
+		ccfg.Stats = nil // each shard keeps its own books
+		ccfg.OwnsEpoch = cl.part.OwnsEpoch(i)
+		ccfg.OwnsSpan = cl.part.OwnsSpan(i)
+		sh.center = center.New(ccfg)
+		if cfg.JournalDir != "" {
+			jr, err := journal.Open(filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d", i)),
+				journal.Options{SyncEveryAppend: cfg.JournalSync})
+			if err != nil {
+				return fail(fmt.Errorf("shard %d: opening journal: %w", i, err))
+			}
+			sh.jr = jr
+			if err := jr.Replay(func(m transport.Message) error {
+				sh.center.Ingest(m)
+				return nil
+			}); err != nil {
+				return fail(fmt.Errorf("shard %d: replaying journal: %w", i, err))
+			}
+		}
+		srv, err := transport.Serve("127.0.0.1:0", func(m transport.Message, _ net.Addr) {
+			if sh.jr != nil {
+				if err := sh.jr.Append(m); err != nil {
+					// The journal degrades itself and the shard's report
+					// envelopes carry JournalDegraded; the counter keeps the
+					// harness's own ledger honest.
+					sh.appendErrs.Add(1)
+				}
+			}
+			sh.center.Ingest(m)
+			sh.processed.Add(1)
+		})
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: starting server: %w", i, err))
+		}
+		sh.srv = srv
+		push, err := transport.Dial(sink.Addr(), 5*time.Second)
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: dialing report sink: %w", i, err))
+		}
+		sh.push = push
+		sender, err := transport.Dial(srv.Addr(), 5*time.Second)
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: dialing shard server: %w", i, err))
+		}
+		senders[i] = sender
+		cl.shards = append(cl.shards, sh)
+	}
+	co = NewCoordinator(cl.part, senders)
+	cl.co = co
+	return cl, nil
+}
+
+// Coordinator exposes the cluster's coordinator (health ledger, merge,
+// metrics registration).
+func (cl *Cluster) Coordinator() *Coordinator { return cl.co }
+
+// ShardCenter exposes shard i's center for test assertions.
+func (cl *Cluster) ShardCenter(i int) *center.Center { return cl.shards[i].center }
+
+// ShardJournalDegraded reports whether shard i's journal has degraded (or
+// any harness-observed append failed).
+func (cl *Cluster) ShardJournalDegraded(i int) bool {
+	sh := cl.shards[i]
+	return (sh.jr != nil && sh.jr.Degraded()) || sh.appendErrs.Load() > 0
+}
+
+// Route scatters one digest through the coordinator, exactly as the
+// coordinator-mode dcsd handler would.
+func (cl *Cluster) Route(m transport.Message) { cl.co.Route(m) }
+
+func (cl *Cluster) aliveShard(i int) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.shards[i].alive
+}
+
+// KillShard simulates a shard crash: its server and report connection close
+// mid-flight (no clean drain, journal left as the crash left it) and the
+// coordinator is told the shard is dead. Idempotent.
+func (cl *Cluster) KillShard(i int) {
+	cl.mu.Lock()
+	sh := cl.shards[i]
+	wasAlive := sh.alive
+	sh.alive = false
+	cl.mu.Unlock()
+	if !wasAlive {
+		return
+	}
+	// Crash semantics: connections drop, nothing flushes. Close errors are
+	// the expected debris of tearing down live sockets — observed, then
+	// deliberately not propagated.
+	if err := sh.srv.Close(); err != nil {
+		_ = err // simulated crash; the socket dying messily is the point
+	}
+	if err := sh.push.Close(); err != nil {
+		_ = err // simulated crash; the socket dying messily is the point
+	}
+	cl.co.MarkDead(i)
+}
+
+// Quiesce waits until every live shard has processed everything the
+// coordinator managed to send it (routed minus send errors) — exact on
+// loopback TCP, no sleeps in the success path.
+func (cl *Cluster) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		healths := cl.co.Healths()
+		settled := true
+		for _, sh := range cl.shards {
+			if !cl.aliveShard(sh.index) {
+				continue
+			}
+			h := healths[sh.index]
+			if sh.processed.Load() < h.Routed-h.SendErrors {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("shard: quiesce timeout: shards still processing routed digests")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// heldEpochs counts the buffered epochs a center's quorum gate currently
+// holds open — the HeldEpochs field of the shard's report envelopes.
+func heldEpochs(c *center.Center) int {
+	n := 0
+	for _, e := range c.Epochs() {
+		if c.Quorum(e).Hold {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain produces every report a center still owes: shed tombstones first,
+// then the ordered AnalyzeLatestComplete stream, then a direct Analyze of
+// whatever remains buffered (the newest epoch, spans the quiescence rule
+// never saw a newer epoch for). Spans owned by other shards and spans
+// already foreclosed are skipped silently — they are not this center's to
+// report. Exported because the equivalence contract is only meaningful when
+// the sharded run and the single-center reference drain through the same
+// procedure; the bit-identity tests and the shards experiment both use it.
+func Drain(c *center.Center) ([]center.WindowReport, error) {
+	reps := c.TakeShedReports()
+	for {
+		rep, err := c.AnalyzeLatestComplete()
+		if errors.Is(err, center.ErrNoCompleteEpoch) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, rep)
+	}
+	remaining := c.Epochs()
+	sort.Ints(remaining)
+	for _, e := range remaining {
+		rep, err := c.Analyze(e)
+		if errors.Is(err, center.ErrNotOwned) || errors.Is(err, center.ErrNoWindow) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, rep)
+	}
+	reps = append(reps, c.TakeShedReports()...)
+	return reps, nil
+}
+
+// AnalyzeAll drains every live shard in parallel — each pushes its reports
+// to the coordinator over the real report wire — waits until the
+// coordinator has gathered everything pushed, expires whatever nothing will
+// ever report (ExpireStale(0): evicted epochs, dead shards' spans), and
+// returns the merged verdict stream, epoch-ascending.
+func (cl *Cluster) AnalyzeAll(timeout time.Duration) ([]MergedReport, error) {
+	baseline := int64(0)
+	for _, h := range cl.co.Healths() {
+		baseline += h.Reports
+	}
+	baseline += cl.co.Stats().BadReports
+
+	var pushed atomic.Int64
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, sh := range cl.shards {
+		if !cl.aliveShard(sh.index) {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *clusterShard) {
+			defer wg.Done()
+			reps, err := Drain(sh.center)
+			if err != nil {
+				record(fmt.Errorf("shard %d: %w", sh.index, err))
+				return
+			}
+			for _, rep := range reps {
+				frame, err := EncodeReport(Envelope{
+					Shard:           sh.index,
+					JournalDegraded: sh.jr != nil && sh.jr.Degraded(),
+					HeldEpochs:      heldEpochs(sh.center),
+					Report:          rep,
+				})
+				if err != nil {
+					record(fmt.Errorf("shard %d: %w", sh.index, err))
+					return
+				}
+				if err := sh.push.Send(frame); err != nil {
+					record(fmt.Errorf("shard %d: pushing report: %w", sh.index, err))
+					return
+				}
+				pushed.Add(1)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		gathered := cl.co.Stats().BadReports
+		for _, h := range cl.co.Healths() {
+			gathered += h.Reports
+		}
+		if gathered >= baseline+pushed.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("shard: gather timeout: coordinator missing pushed reports")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cl.co.ExpireStale(0)
+	return cl.co.TakeMerged(), nil
+}
+
+// Close tears the cluster down: shard servers, report connections,
+// journals, the coordinator's shard clients, and the report sink. The first
+// error wins; teardown continues past it.
+func (cl *Cluster) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sh := range cl.shards {
+		if cl.aliveShard(sh.index) {
+			keep(sh.srv.Close())
+			keep(sh.push.Close())
+		}
+		if sh.jr != nil {
+			keep(sh.jr.Close())
+		}
+	}
+	if cl.co != nil {
+		for _, s := range cl.co.shards {
+			if c, ok := s.(*transport.Client); ok {
+				keep(c.Close())
+			}
+		}
+	}
+	if cl.sink != nil {
+		keep(cl.sink.Close())
+	}
+	return first
+}

@@ -1,0 +1,83 @@
+package shard
+
+import "testing"
+
+// TestPartitionDeterministicAndCovering: the owner assignment is a pure
+// function of (epoch, shard count), lands in range, and spreads spans over
+// every shard rather than clumping.
+func TestPartitionDeterministicAndCovering(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		p := Partition{Shards: n}
+		counts := make([]int, n)
+		for e := 0; e < 1000; e++ {
+			o := p.Owner(e)
+			if o < 0 || o >= n {
+				t.Fatalf("Owner(%d) = %d out of range for %d shards", e, o, n)
+			}
+			if again := p.Owner(e); again != o {
+				t.Fatalf("Owner(%d) not deterministic: %d then %d", e, o, again)
+			}
+			counts[o]++
+		}
+		for s, c := range counts {
+			// splitmix64 avalanche: expect ~1000/n per shard; any shard below
+			// a quarter of its fair share means the hash is clumping.
+			if c < 1000/(4*n) {
+				t.Fatalf("%d shards: shard %d owns only %d of 1000 epochs", n, s, c)
+			}
+		}
+	}
+	// One shard owns everything — the degenerate deployment the equivalence
+	// contract rides on.
+	p := Partition{Shards: 1, Slide: 4}
+	for e := -5; e < 100; e++ {
+		if p.Owner(e) != 0 {
+			t.Fatalf("1-shard Owner(%d) = %d, want 0", e, p.Owner(e))
+		}
+		if got := p.ShardsFor(e); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("1-shard ShardsFor(%d) = %v, want [0]", e, got)
+		}
+	}
+}
+
+// TestPartitionFanoutMatchesOwnership pins the three views against each
+// other: ShardsFor(e) is exactly the sorted set of owners of spans ending in
+// [e, e+Slide-1], OwnsEpoch accepts exactly membership in ShardsFor, and
+// OwnsSpan accepts exactly ownership.
+func TestPartitionFanoutMatchesOwnership(t *testing.T) {
+	for _, slide := range []int{1, 2, 4} {
+		p := Partition{Shards: 4, Slide: slide}
+		owns := make([]func(int) bool, p.Shards)
+		spans := make([]func(int) bool, p.Shards)
+		for i := 0; i < p.Shards; i++ {
+			owns[i] = p.OwnsEpoch(i)
+			spans[i] = p.OwnsSpan(i)
+		}
+		for e := 0; e < 200; e++ {
+			want := map[int]bool{}
+			for end := e; end < e+slide; end++ {
+				want[p.Owner(end)] = true
+			}
+			got := p.ShardsFor(e)
+			if len(got) != len(want) {
+				t.Fatalf("slide %d: ShardsFor(%d) = %v, want owners %v", slide, e, got, want)
+			}
+			for i, s := range got {
+				if !want[s] {
+					t.Fatalf("slide %d: ShardsFor(%d) = %v includes non-owner %d", slide, e, got, s)
+				}
+				if i > 0 && got[i-1] >= s {
+					t.Fatalf("slide %d: ShardsFor(%d) = %v not sorted/deduped", slide, e, got)
+				}
+			}
+			for i := 0; i < p.Shards; i++ {
+				if owns[i](e) != want[i] {
+					t.Fatalf("slide %d: OwnsEpoch(%d)(%d) = %v, want %v", slide, i, e, owns[i](e), want[i])
+				}
+				if spans[i](e) != (p.Owner(e) == i) {
+					t.Fatalf("slide %d: OwnsSpan(%d)(%d) disagrees with Owner", slide, i, e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dcstream/internal/center"
+	"dcstream/internal/transport"
+)
+
+// Envelope is what a shard pushes upstream for every report it produces:
+// the analyzed (or shed-tombstone) WindowReport plus the shard-health facts
+// the coordinator's ledger tracks. It rides the transport's Report frame as
+// JSON — the control-plane path is cold (one frame per analyzed span, versus
+// thousands of digest frames), so a self-describing encoding beats a
+// hand-rolled binary one, and Go's JSON round-trips every WindowReport field
+// exactly: float64 via shortest-representation, nil versus empty slices via
+// null versus [] — which is what lets the coordinator's merged output stay
+// bit-identical to the shard's original report.
+type Envelope struct {
+	// Shard is the sender's shard index; the coordinator files the report
+	// under this shard's health ledger entry and rejects out-of-range values.
+	Shard int `json:"shard"`
+	// JournalDegraded reports the shard's journal has entered degraded mode
+	// (writes failing, recovery not possible); the coordinator surfaces it
+	// as the shard's degraded cause.
+	JournalDegraded bool `json:"journal_degraded,omitempty"`
+	// HeldEpochs is how many buffered epochs the shard's quorum gate was
+	// holding open when the report was produced — the coordinator's view of
+	// quorum state per shard.
+	HeldEpochs int `json:"held_epochs,omitempty"`
+	// Report is the shard's verdict, verbatim.
+	Report center.WindowReport `json:"report"`
+}
+
+// EncodeReport frames an envelope for the wire.
+func EncodeReport(env Envelope) (transport.Report, error) {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return transport.Report{}, fmt.Errorf("shard: encoding report envelope: %w", err)
+	}
+	return transport.Report{Payload: b}, nil
+}
+
+// DecodeReport recovers an envelope from a received Report frame.
+func DecodeReport(m transport.Report) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(m.Payload, &env); err != nil {
+		return Envelope{}, fmt.Errorf("shard: decoding report envelope: %w", err)
+	}
+	return env, nil
+}

@@ -6,6 +6,36 @@ import "math"
 func exp(x float64) float64  { return math.Exp(x) }
 func sqrt(x float64) float64 { return math.Sqrt(x) }
 
+// logFactSize bounds the precomputed log-factorial table: large enough for
+// every digest-geometry argument (array rows are hundreds of bits, subsets
+// thousands), small enough to stay negligible resident memory (512 KiB).
+const logFactSize = 1 << 16
+
+// logFact[i] = Lgamma(i+1) = log i!. The hypergeometric λ-threshold search
+// evaluates LogChoose thousands of times per fresh analysis center before the
+// per-center memo warms, and profiled as almost entirely Lgamma time; the
+// table turns those calls into array lookups. Populated at init with the same
+// math.Lgamma the fallback uses, so a table hit is bit-identical to a miss —
+// thresholds and verdicts do not move.
+var logFact [logFactSize]float64
+
+func init() {
+	for i := range logFact {
+		logFact[i], _ = math.Lgamma(float64(i) + 1)
+	}
+}
+
+// logFactorial returns Lgamma(x+1), from the table when x is a small
+// non-negative integer (every caller inside the digest pipeline) and from
+// math.Lgamma otherwise.
+func logFactorial(x float64) float64 {
+	if i := int(x); x == float64(i) && i >= 0 && i < logFactSize {
+		return logFact[i]
+	}
+	v, _ := math.Lgamma(x + 1)
+	return v
+}
+
 // LogChoose returns log C(n, k). It returns -Inf for k < 0 or k > n, and 0
 // for the empty products C(n,0) and C(n,n). n may be astronomically large
 // (the paper uses C(4_000_000, b)); everything stays in log space.
@@ -16,10 +46,7 @@ func LogChoose(n, k float64) float64 {
 	if k == 0 || k == n {
 		return 0
 	}
-	ln1, _ := math.Lgamma(n + 1)
-	lk1, _ := math.Lgamma(k + 1)
-	lnk1, _ := math.Lgamma(n - k + 1)
-	return ln1 - lk1 - lnk1
+	return logFactorial(n) - logFactorial(k) - logFactorial(n-k)
 }
 
 // BinomLogPMF returns log P[X = k] for X ~ Binomial(n, p).

@@ -70,6 +70,15 @@ type Stats struct {
 	// FramesPerDatagram observes how many digest frames each accepted
 	// datagram carried — the batching efficacy of the UDP path.
 	FramesPerDatagram metrics.Histogram
+	// PeerEvictions counts per-sender sequence-accounting entries dropped
+	// to keep the peers map within its MaxPeers bound — idle entries expired
+	// past the quarantine cooldown, or the least-recently-seen entry when
+	// nothing is idle.
+	PeerEvictions metrics.Counter
+	// SenderRestarts counts sequence marks reset after a detected collector
+	// restart (seq renumbered from 1 after a quiet gap). Without the reset,
+	// the whole post-restart stream would count as late.
+	SenderRestarts metrics.Counter
 
 	// SendersQuarantined counts quarantine sentences handed out by the
 	// admission gate (a repeat offender counts once per sentence);
@@ -131,6 +140,10 @@ func (s *Stats) Register(r *metrics.Registry, ns string) {
 		"datagrams arriving reordered or duplicated (seq at or below highest seen)", &s.DatagramsLate)
 	r.RegisterHistogram(ns+"_frames_per_datagram",
 		"digest frames carried per accepted datagram", &s.FramesPerDatagram)
+	r.RegisterCounter(ns+"_peer_evictions_total",
+		"per-sender sequence entries evicted to bound the peers map", &s.PeerEvictions)
+	r.RegisterCounter(ns+"_sender_restarts_total",
+		"sequence marks reset after a detected collector restart", &s.SenderRestarts)
 	r.RegisterCounter(ns+"_quarantined_senders_total",
 		"quarantine sentences handed out by the admission gate", &s.SendersQuarantined)
 	r.RegisterGauge(ns+"_quarantined_senders",
@@ -151,6 +164,7 @@ type Snapshot struct {
 	DialAttempts                                        int64
 	DatagramsOut, DatagramsIn, DatagramsRejected        int64
 	DatagramsLost, DatagramsLate                        int64
+	PeerEvictions, SenderRestarts                       int64
 	SendersQuarantined, QuarantinedSenders              int64
 	QuarantineDrops, Strikes, Paroles                   int64
 }
@@ -174,6 +188,8 @@ func (s *Stats) Snapshot() Snapshot {
 		DatagramsRejected:  s.DatagramsRejected.Load(),
 		DatagramsLost:      s.DatagramsLost.Load(),
 		DatagramsLate:      s.DatagramsLate.Load(),
+		PeerEvictions:      s.PeerEvictions.Load(),
+		SenderRestarts:     s.SenderRestarts.Load(),
 		SendersQuarantined: s.SendersQuarantined.Load(),
 		QuarantinedSenders: s.QuarantinedSenders.Load(),
 		QuarantineDrops:    s.QuarantineDrops.Load(),

@@ -25,6 +25,20 @@ type UDPServerConfig struct {
 	// TCP server runs, with datagrams as the unit. The zero value keeps
 	// the server gateless.
 	Gate GateConfig
+	// MaxPeers bounds the per-sender sequence-accounting map. Sender ids
+	// live in the datagram envelope, which a sprayer can forge past the
+	// host-keyed gate, so without a bound the map is a remote memory leak:
+	// one entry per distinct id, forever. At the cap, entries idle longer
+	// than the gate's quarantine cooldown are expired first; if none are,
+	// the least-recently-seen entry is evicted. Evictions are counted in
+	// Stats.PeerEvictions. Zero means 65536 (the gate's own tracking cap).
+	MaxPeers int
+	// RestartQuiet is the minimum silence from a sender before a sequence
+	// number far below its high-water mark is read as a collector restart
+	// (seq renumbers from 1) rather than reordering, resetting the mark
+	// instead of miscounting the whole post-restart stream as late. Zero
+	// means 1 second; negative disables restart detection.
+	RestartQuiet time.Duration
 }
 
 func (c UDPServerConfig) withDefaults() UDPServerConfig {
@@ -33,6 +47,12 @@ func (c UDPServerConfig) withDefaults() UDPServerConfig {
 	}
 	if c.Stats == nil {
 		c.Stats = new(Stats)
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = maxTrackedSenders
+	}
+	if c.RestartQuiet == 0 {
+		c.RestartQuiet = time.Second
 	}
 	return c
 }
@@ -72,12 +92,36 @@ type UDPServer struct {
 	handler Handler
 	cfg     UDPServerConfig
 	gate    *senderGate // nil when the gate is disabled
+	// peerTTL is the idle horizon after which a peer entry may be expired
+	// under cap pressure — tied to the gate's quarantine cooldown so a
+	// sender's sequence standing outlives any sentence it is serving.
+	peerTTL time.Duration
+	// now is the sequence accountant's clock, swappable so tests can script
+	// restarts and expiry instead of sleeping through them.
+	now func() time.Time
 
 	mu    sync.Mutex
-	peers map[uint32]uint64 // highest seq seen per sender; guarded by mu
+	peers map[uint32]*peerSeq // sequence accounting per sender; guarded by mu
 
 	wg sync.WaitGroup
 }
+
+// peerSeq is one sender's sequence-accounting state.
+type peerSeq struct {
+	// seq is the highest sequence number seen from the sender.
+	seq uint64
+	// last is when the sender's previous datagram arrived; restart detection
+	// and cap eviction both key off it.
+	last time.Time
+}
+
+// restartSeqMax bounds how far into a renumbered stream a restart can still
+// be recognized: a freshly restarted collector's first surviving datagram has
+// a small sequence number (1 plus any leading losses), while a reordered
+// datagram from the old stream carries a number near the high-water mark. The
+// mark must also be at least this far above the arrival, so the two regimes
+// cannot overlap on a young stream.
+const restartSeqMax = 64
 
 // ServeUDP starts a datagram server on addr (e.g. "127.0.0.1:0" to pick a
 // free port) with default settings.
@@ -109,7 +153,9 @@ func ServeUDPConfig(addr string, handler Handler, cfg UDPServerConfig) (*UDPServ
 		handler: handler,
 		cfg:     cfg,
 		gate:    newSenderGate(cfg.Gate, cfg.Stats),
-		peers:   make(map[uint32]uint64),
+		peerTTL: cfg.Gate.withDefaults().Cooldown,
+		now:     time.Now,
+		peers:   make(map[uint32]*peerSeq),
 	}
 	s.wg.Add(1)
 	go s.readLoop()
@@ -186,18 +232,87 @@ func (s *UDPServer) handleDatagram(buf []byte, from net.Addr) {
 // count as lost datagrams, arrivals at or below it as late (reordered or
 // duplicated). Senders number from 1, so a first contact at seq N also
 // reveals N-1 leading losses.
+//
+// Two exceptions keep the counters honest at scale. A restarted collector
+// renumbers from 1; without detection its entire post-restart stream would
+// count late against the dead process's mark, so a small sequence number
+// arriving far below the mark after RestartQuiet of silence resets the mark
+// (counted in SenderRestarts) instead. And the map itself is bounded by
+// MaxPeers — sender ids are attacker-forgeable envelope bytes — with idle
+// entries expired first and the least-recently-seen evicted otherwise
+// (counted in PeerEvictions).
 func (s *UDPServer) accountSeq(h DatagramHeader) {
+	now := s.now()
 	s.mu.Lock()
-	last := s.peers[h.Sender]
-	if h.Seq > last {
-		if h.Seq > last+1 {
-			s.cfg.Stats.DatagramsLost.Add(int64(h.Seq - last - 1))
+	defer s.mu.Unlock()
+	p, ok := s.peers[h.Sender]
+	if !ok {
+		if len(s.peers) >= s.cfg.MaxPeers {
+			s.evictPeersLocked(now)
 		}
-		s.peers[h.Sender] = h.Seq
-	} else {
-		s.cfg.Stats.DatagramsLate.Add(1)
+		s.peers[h.Sender] = &peerSeq{seq: h.Seq, last: now}
+		if h.Seq > 1 {
+			s.cfg.Stats.DatagramsLost.Add(int64(h.Seq - 1))
+		}
+		return
 	}
-	s.mu.Unlock()
+	if h.Seq > p.seq {
+		if h.Seq > p.seq+1 {
+			s.cfg.Stats.DatagramsLost.Add(int64(h.Seq - p.seq - 1))
+		}
+		p.seq, p.last = h.Seq, now
+		return
+	}
+	if s.cfg.RestartQuiet > 0 && h.Seq <= restartSeqMax && p.seq >= h.Seq+restartSeqMax &&
+		now.Sub(p.last) >= s.cfg.RestartQuiet {
+		// The collector restarted: its process died (the quiet gap) and came
+		// back numbering from 1. Reset the mark to the new stream; the
+		// renumbered datagram is a fresh first contact, not a late one, and
+		// its leading gap means post-restart losses just like a first contact.
+		s.cfg.Stats.SenderRestarts.Add(1)
+		if h.Seq > 1 {
+			s.cfg.Stats.DatagramsLost.Add(int64(h.Seq - 1))
+		}
+		p.seq, p.last = h.Seq, now
+		return
+	}
+	p.last = now
+	s.cfg.Stats.DatagramsLate.Add(1)
+}
+
+// evictPeersLocked makes room in the peers map: every entry idle past the
+// TTL (the gate's quarantine cooldown) is expired; when nothing is idle the
+// single least-recently-seen entry goes. An evicted sender that returns is a
+// first contact again — its leading-loss estimate restarts, which the Lost
+// counter's "estimate, not ledger" contract allows. Caller holds s.mu.
+func (s *UDPServer) evictPeersLocked(now time.Time) {
+	removed := int64(0)
+	var lruKey uint32
+	var lruAt time.Time
+	found := false
+	for k, p := range s.peers {
+		if s.peerTTL > 0 && now.Sub(p.last) >= s.peerTTL {
+			delete(s.peers, k)
+			removed++
+			continue
+		}
+		if !found || p.last.Before(lruAt) {
+			lruKey, lruAt, found = k, p.last, true
+		}
+	}
+	if removed == 0 && found {
+		delete(s.peers, lruKey)
+		removed = 1
+	}
+	s.cfg.Stats.PeerEvictions.Add(removed)
+}
+
+// trackedPeers reports how many senders currently have sequence-accounting
+// state (bounded by MaxPeers).
+func (s *UDPServer) trackedPeers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
 }
 
 // Close stops the read loop and waits for in-flight handlers to drain.

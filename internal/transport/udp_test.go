@@ -297,6 +297,192 @@ func TestUDPSequenceAccounting(t *testing.T) {
 	}
 }
 
+// TestUDPPeerMapBoundedUnderSenderChurn floods the server with datagrams
+// from distinct forged sender ids — the unbounded-map leak scenario — and
+// proves the sequence-accounting map stays within MaxPeers with every
+// eviction counted.
+func TestUDPPeerMapBoundedUnderSenderChurn(t *testing.T) {
+	const maxPeers = 16
+	srv, _ := collectUDP(t, UDPServerConfig{MaxPeers: maxPeers})
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const churn = 200
+	for i := 0; i < churn; i++ {
+		buf := make([]byte, udpHeaderLen)
+		putDatagramHeader(buf, DatagramHeader{Sender: uint32(i + 1), Seq: 1, Count: 1})
+		buf, err := appendFrame(buf, AlignedDigest{RouterID: 1, Epoch: 1, Bitmap: randomVector(uint64(i+1), 64)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Snapshot().DatagramsIn == churn })
+
+	if n := srv.trackedPeers(); n > maxPeers {
+		t.Fatalf("peers map holds %d entries after %d-sender churn, want <= %d", n, churn, maxPeers)
+	}
+	s := srv.Stats().Snapshot()
+	if want := int64(churn - maxPeers); s.PeerEvictions != want {
+		t.Fatalf("PeerEvictions=%d, want %d (every entry past the cap evicted and counted)", s.PeerEvictions, want)
+	}
+}
+
+// TestUDPPeerEvictionPolicy drives accountSeq directly with a scripted clock
+// to pin the eviction order: entries idle past the quarantine cooldown are
+// all swept first; when nothing is idle, exactly the least-recently-seen
+// entry goes.
+func TestUDPPeerEvictionPolicy(t *testing.T) {
+	srv, _ := collectUDP(t, UDPServerConfig{MaxPeers: 3})
+	clock := time.Unix(1000, 0)
+	srv.now = func() time.Time { return clock }
+
+	seen := func(sender uint32) { srv.accountSeq(DatagramHeader{Sender: sender, Seq: 1, Count: 1}) }
+	seen(1)
+	clock = clock.Add(time.Second)
+	seen(2)
+	clock = clock.Add(time.Second)
+	seen(3)
+
+	// Nothing is idle past the 30s cooldown yet, so admitting sender 4 must
+	// evict only the least-recently-seen entry: sender 1.
+	clock = clock.Add(time.Second)
+	seen(4)
+	if n := srv.trackedPeers(); n != 3 {
+		t.Fatalf("tracked %d peers, want 3", n)
+	}
+	srv.mu.Lock()
+	_, oneAlive := srv.peers[1]
+	_, twoAlive := srv.peers[2]
+	srv.mu.Unlock()
+	if oneAlive || !twoAlive {
+		t.Fatalf("LRU eviction took the wrong victim: sender1 alive=%v sender2 alive=%v", oneAlive, twoAlive)
+	}
+	if got := srv.Stats().Snapshot().PeerEvictions; got != 1 {
+		t.Fatalf("PeerEvictions=%d after LRU eviction, want 1", got)
+	}
+
+	// Let 2 and 3 go idle past the 30s cooldown while 4 stays fresh, then
+	// admit sender 5: both idle entries are swept in one pass.
+	clock = clock.Add(30 * time.Second)
+	seen(4)
+	clock = clock.Add(time.Second)
+	seen(5)
+	srv.mu.Lock()
+	_, fourAlive := srv.peers[4]
+	_, fiveAlive := srv.peers[5]
+	n := len(srv.peers)
+	srv.mu.Unlock()
+	if !fourAlive || !fiveAlive || n != 2 {
+		t.Fatalf("after idle sweep: %d peers, sender4 alive=%v sender5 alive=%v; want 2/true/true", n, fourAlive, fiveAlive)
+	}
+	if got := srv.Stats().Snapshot().PeerEvictions; got != 3 {
+		t.Fatalf("PeerEvictions=%d after idle sweep, want 3 (1 LRU + 2 idle)", got)
+	}
+}
+
+// TestUDPSenderRestartResetsMark pins the restart heuristic at the
+// accounting layer with a scripted clock: a small sequence number far below
+// the high-water mark after a quiet gap resets the mark instead of branding
+// the whole renumbered stream late — and the guards (no quiet gap, young
+// stream, detection disabled) all still count late.
+func TestUDPSenderRestartResetsMark(t *testing.T) {
+	srv, _ := collectUDP(t, UDPServerConfig{})
+	clock := time.Unix(2000, 0)
+	srv.now = func() time.Time { return clock }
+
+	seen := func(sender uint32, seq uint64) { srv.accountSeq(DatagramHeader{Sender: sender, Seq: seq, Count: 1}) }
+	stats := func() Snapshot { return srv.Stats().Snapshot() }
+
+	// Ramp sender 1 well past restartSeqMax.
+	for seq := uint64(1); seq <= 200; seq++ {
+		seen(1, seq)
+	}
+	// A reordered duplicate with no quiet gap is late, not a restart.
+	seen(1, 3)
+	if s := stats(); s.DatagramsLate != 1 || s.SenderRestarts != 0 {
+		t.Fatalf("reorder without gap: late=%d restarts=%d, want 1/0", s.DatagramsLate, s.SenderRestarts)
+	}
+	// The same small seq after a quiet gap is a restart: mark resets, the
+	// renumbered stream counts fresh, leading losses chalked up like a first
+	// contact (seq 3 ⇒ 1 and 2 lost).
+	lostBefore := stats().DatagramsLost
+	clock = clock.Add(2 * time.Second)
+	seen(1, 3)
+	seen(1, 4)
+	seen(1, 5)
+	if s := stats(); s.SenderRestarts != 1 || s.DatagramsLate != 1 {
+		t.Fatalf("after restart: restarts=%d late=%d, want 1/1 (post-restart stream not late)", s.SenderRestarts, s.DatagramsLate)
+	}
+	if s := stats(); s.DatagramsLost != lostBefore+2 {
+		t.Fatalf("restart leading losses: lost=%d, want %d", s.DatagramsLost, lostBefore+2)
+	}
+
+	// A young stream (mark within restartSeqMax of the arrival) never reads
+	// as a restart, however long the gap: reordering is the likelier story.
+	seen(2, 40)
+	clock = clock.Add(time.Minute)
+	seen(2, 2)
+	if s := stats(); s.SenderRestarts != 1 || s.DatagramsLate != 2 {
+		t.Fatalf("young stream: restarts=%d late=%d, want 1/2", s.SenderRestarts, s.DatagramsLate)
+	}
+}
+
+// TestUDPClientRestartMidEpochKeepsLateHonest is the end-to-end regression:
+// a dcsnode-style client crashes mid-epoch and a replacement with the same
+// sender id renumbers from seq 1. DatagramsLate must stay honest instead of
+// branding the entire post-restart stream late.
+func TestUDPClientRestartMidEpochKeepsLateHonest(t *testing.T) {
+	srv, got := collectUDP(t, UDPServerConfig{RestartQuiet: 5 * time.Millisecond})
+
+	dial := func() *BatchingUDPClient {
+		t.Helper()
+		c, err := DialUDP(srv.Addr(), UDPClientConfig{SenderID: 9, FlushInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	push := func(c *BatchingUDPClient, router, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := c.Send(AlignedDigest{RouterID: router, Epoch: 1, Bitmap: randomVector(uint64(router*1000+i), 64)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// First incarnation sends 80 one-frame datagrams (past restartSeqMax),
+	// then "crashes" without a clean shutdown.
+	c1 := dial()
+	push(c1, 1, 80)
+	waitFor(t, 5*time.Second, func() bool { return len(got()) == 80 })
+	c1.Close()
+
+	// The replacement process comes up after a quiet gap and renumbers from 1.
+	time.Sleep(50 * time.Millisecond)
+	c2 := dial()
+	defer c2.Close()
+	push(c2, 2, 40)
+	waitFor(t, 5*time.Second, func() bool { return len(got()) == 120 })
+
+	s := srv.Stats().Snapshot()
+	if s.SenderRestarts != 1 {
+		t.Fatalf("SenderRestarts=%d, want 1", s.SenderRestarts)
+	}
+	if s.DatagramsLate != 0 {
+		t.Fatalf("DatagramsLate=%d after restart, want 0 (post-restart stream miscounted as late)", s.DatagramsLate)
+	}
+}
+
 // TestUDPFlushTimer proves a lone buffered frame does not sit forever when
 // the send rate is too low to fill a datagram.
 func TestUDPFlushTimer(t *testing.T) {

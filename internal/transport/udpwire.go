@@ -132,6 +132,16 @@ func appendFrame(buf []byte, m Message) ([]byte, error) {
 		binary.LittleEndian.PutUint32(hdr[9:], crc32.Checksum(payload, castagnoli))
 		buf = append(buf, hdr[:]...)
 		return append(buf, payload...), nil
+	case Report:
+		if len(d.Payload) > maxFrame {
+			return buf, fmt.Errorf("transport: report payload of %d bytes exceeds the %d-byte frame limit", len(d.Payload), maxFrame)
+		}
+		binary.LittleEndian.PutUint32(hdr[0:], magic)
+		hdr[4] = typeReport
+		binary.LittleEndian.PutUint32(hdr[5:], uint32(len(d.Payload)))
+		binary.LittleEndian.PutUint32(hdr[9:], crc32.Checksum(d.Payload, castagnoli))
+		buf = append(buf, hdr[:]...)
+		return append(buf, d.Payload...), nil
 	default:
 		return buf, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -160,6 +170,8 @@ func frameWireLen(m Message) (int, error) {
 			}
 		}
 		return n, nil
+	case Report:
+		return headerLen + len(d.Payload), nil
 	default:
 		return 0, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -194,6 +206,11 @@ func readFrame(buf []byte) (Message, []byte, error) {
 	case typeUnaligned:
 		m, err := decodeUnaligned(payload)
 		return m, rest, err
+	case typeReport:
+		// The payload aliases the receive buffer, which the read loop reuses
+		// for the next datagram; a report is retained past this frame walk, so
+		// it must own its bytes.
+		return Report{Payload: append([]byte(nil), payload...)}, rest, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, buf[4])
 	}

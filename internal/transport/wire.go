@@ -34,6 +34,7 @@ const (
 
 	typeAligned   = 1
 	typeUnaligned = 2
+	typeReport    = 3
 
 	// maxFrame bounds a frame's payload so a corrupt or hostile peer
 	// cannot make the center allocate unbounded memory. The largest
@@ -77,6 +78,19 @@ type UnalignedDigest struct {
 
 func (UnalignedDigest) isMessage() {}
 
+// Report carries an opaque control-plane payload upstream: a shard's
+// analyzed WindowReport, encoded by internal/shard, pushed from a shard
+// center to its coordinator over the same framed channel the digests ride.
+// The transport does not interpret the payload — keeping the codec free of a
+// center dependency — it only frames and checksums it like any digest.
+// Centers that do not expect reports count them as unknown messages and
+// drop them (forward compatibility), so a misdirected report is harmless.
+type Report struct {
+	Payload []byte
+}
+
+func (Report) isMessage() {}
+
 // Write encodes a message as one frame on w. Malformed digests (nil
 // bitmaps, ragged unaligned geometry) are rejected before any bytes hit the
 // wire — a half-written frame would desynchronize the whole stream.
@@ -91,6 +105,12 @@ func Write(w io.Writer, m Message) error {
 	case UnalignedDigest:
 		kind = typeUnaligned
 		payload, err = encodeUnaligned(d)
+	case Report:
+		kind = typeReport
+		if len(d.Payload) > maxFrame {
+			return fmt.Errorf("transport: report payload of %d bytes exceeds the %d-byte frame limit", len(d.Payload), maxFrame)
+		}
+		payload = d.Payload
 	default:
 		return fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -143,6 +163,8 @@ func Read(r io.Reader) (Message, error) {
 		return decodeAligned(payload)
 	case typeUnaligned:
 		return decodeUnaligned(payload)
+	case typeReport:
+		return Report{Payload: payload}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[4])
 	}
